@@ -1,0 +1,94 @@
+package fluxtrack_test
+
+import (
+	"testing"
+
+	"fluxtrack/internal/exp"
+)
+
+// benchExperiment runs one experiment end-to-end per benchmark iteration at
+// the reduced QuickConfig effort. Every figure of the paper has one bench;
+// run `go test -bench=. -benchmem` here or `cmd/fluxbench` for the
+// full-effort tables.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := exp.QuickConfig()
+	cfg.Trials = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		table, err := e.Run(cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s: empty table", id)
+		}
+	}
+}
+
+// BenchmarkFig3a regenerates the model error-rate CDF (Figure 3a).
+func BenchmarkFig3a(b *testing.B) { benchExperiment(b, "fig3a") }
+
+// BenchmarkFig3b regenerates the by-hop flux comparison (Figure 3b).
+func BenchmarkFig3b(b *testing.B) { benchExperiment(b, "fig3b") }
+
+// BenchmarkFig4 regenerates the recursive briefing rounds (Figure 4).
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates instant localization with full flux (Figure 5).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6a regenerates localization vs sampling percentage (Figure 6a).
+func BenchmarkFig6a(b *testing.B) { benchExperiment(b, "fig6a") }
+
+// BenchmarkFig6b regenerates localization vs network density (Figure 6b).
+func BenchmarkFig6b(b *testing.B) { benchExperiment(b, "fig6b") }
+
+// BenchmarkFig7 regenerates the tracking cases incl. the crossing (Figure 7).
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8a regenerates tracking vs sampling percentage (Figure 8a).
+func BenchmarkFig8a(b *testing.B) { benchExperiment(b, "fig8a") }
+
+// BenchmarkFig8b regenerates tracking vs network density (Figure 8b).
+func BenchmarkFig8b(b *testing.B) { benchExperiment(b, "fig8b") }
+
+// BenchmarkFig10a regenerates the trace-driven sweep over sampling
+// percentage (Figure 10a).
+func BenchmarkFig10a(b *testing.B) { benchExperiment(b, "fig10a") }
+
+// BenchmarkFig10b regenerates the trace-driven sweep over the resampling
+// radius (Figure 10b).
+func BenchmarkFig10b(b *testing.B) { benchExperiment(b, "fig10b") }
+
+// BenchmarkAblationSearch compares exhaustive and conditional search (A1).
+func BenchmarkAblationSearch(b *testing.B) { benchExperiment(b, "ablation-search") }
+
+// BenchmarkAblationImportance toggles importance sampling (A2).
+func BenchmarkAblationImportance(b *testing.B) { benchExperiment(b, "ablation-importance") }
+
+// BenchmarkAblationSmoothing sweeps the flux smoothing passes (A3).
+func BenchmarkAblationSmoothing(b *testing.B) { benchExperiment(b, "ablation-smoothing") }
+
+// BenchmarkCountermeasure sweeps the traffic-reshaping defense (A4).
+func BenchmarkCountermeasure(b *testing.B) { benchExperiment(b, "countermeasure") }
+
+// BenchmarkNoiseRobustness sweeps measurement noise on the readings (A5).
+func BenchmarkNoiseRobustness(b *testing.B) { benchExperiment(b, "noise") }
+
+// BenchmarkBaselineEKF compares the SMC tracker with the EKF baseline (A6).
+func BenchmarkBaselineEKF(b *testing.B) { benchExperiment(b, "baseline-ekf") }
+
+// BenchmarkAblationHeading toggles heading-informed prediction (A7).
+func BenchmarkAblationHeading(b *testing.B) { benchExperiment(b, "ablation-heading") }
+
+// BenchmarkAblationPacketLevel compares fluid and packet-level sniffing (A8).
+func BenchmarkAblationPacketLevel(b *testing.B) { benchExperiment(b, "ablation-packet") }
+
+// BenchmarkAggregationDefense evaluates TAG aggregation as a defense (A9).
+func BenchmarkAggregationDefense(b *testing.B) { benchExperiment(b, "aggregation") }

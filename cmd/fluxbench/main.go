@@ -1,0 +1,138 @@
+// Command fluxbench regenerates the paper's evaluation tables. By default
+// it runs every experiment at full (paper-faithful) effort; use -quick for
+// a fast pass and -exp to select a single experiment.
+//
+// Usage:
+//
+//	fluxbench                 # run everything, full effort
+//	fluxbench -quick          # run everything, reduced effort
+//	fluxbench -exp fig6a      # run one experiment
+//	fluxbench -list           # list experiment ids
+//	fluxbench -trials 5       # override the trial count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fluxtrack/internal/exp"
+	"fluxtrack/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fluxbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fluxbench", flag.ContinueOnError)
+	var (
+		quick   = fs.Bool("quick", false, "use the reduced-effort configuration")
+		expID   = fs.String("exp", "", "run only the experiment with this id")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		trials  = fs.Int("trials", 0, "override the trial count")
+		seed    = fs.Uint64("seed", 0, "override the base seed")
+		samples = fs.Int("samples", 0, "override the localization candidate count")
+		trackN  = fs.Int("trackn", 0, "override the SMC prediction sample count")
+		rounds  = fs.Int("rounds", 0, "override the tracking round count")
+		chart   = fs.Bool("chart", false, "render an ASCII bar chart per table column")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Note)
+		}
+		return nil
+	}
+
+	cfg := exp.DefaultConfig()
+	if *quick {
+		cfg = exp.QuickConfig()
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *samples > 0 {
+		cfg.Samples = *samples
+	}
+	if *trackN > 0 {
+		cfg.TrackN = *trackN
+	}
+	if *rounds > 0 {
+		cfg.Rounds = *rounds
+	}
+
+	experiments := exp.All()
+	if *expID != "" {
+		e, err := exp.ByID(*expID)
+		if err != nil {
+			return err
+		}
+		experiments = []exp.Experiment{e}
+	}
+
+	for _, e := range experiments {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Print(table.Render())
+		if *chart {
+			fmt.Print(renderCharts(table))
+		}
+		fmt.Printf("   (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// renderCharts draws one bar chart per fully numeric table column, keyed by
+// the first column's labels.
+func renderCharts(t exp.Table) string {
+	if len(t.Rows) == 0 || len(t.Columns) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	for col := 1; col < len(t.Columns); col++ {
+		labels := make([]string, 0, len(t.Rows))
+		values := make([]float64, 0, len(t.Rows))
+		numeric := true
+		for _, row := range t.Rows {
+			if col >= len(row) {
+				numeric = false
+				break
+			}
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "%"), 64)
+			if err != nil {
+				numeric = false
+				break
+			}
+			labels = append(labels, row[0])
+			values = append(values, v)
+		}
+		if !numeric || len(values) < 2 {
+			continue
+		}
+		chart, err := plot.Bars(labels, values, 40)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "\n   %s:\n", t.Columns[col])
+		for _, line := range strings.Split(strings.TrimRight(chart, "\n"), "\n") {
+			fmt.Fprintf(&b, "   %s\n", line)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"fluxtrack/internal/exp"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list failed: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag must error")
+	}
+}
+
+func TestRenderCharts(t *testing.T) {
+	table := exp.Table{
+		ID:      "demo",
+		Columns: []string{"cell", "err", "note"},
+		Rows: [][]string{
+			{"a", "1.5", "x"},
+			{"b", "3.0", "y"},
+		},
+	}
+	out := renderCharts(table)
+	if !strings.Contains(out, "err:") {
+		t.Errorf("numeric column not charted: %q", out)
+	}
+	if strings.Contains(out, "note:") {
+		t.Errorf("non-numeric column charted: %q", out)
+	}
+	if !strings.Contains(out, "####") {
+		t.Errorf("no bars rendered: %q", out)
+	}
+	// Percent-suffixed labels in data cells parse as numbers.
+	pct := exp.Table{
+		Columns: []string{"pct", "v"},
+		Rows:    [][]string{{"40%", "10%"}, {"20%", "20%"}},
+	}
+	if out := renderCharts(pct); !strings.Contains(out, "v:") {
+		t.Errorf("percent cells not parsed: %q", out)
+	}
+	// Degenerate tables chart nothing.
+	if out := renderCharts(exp.Table{Columns: []string{"only"}}); out != "" {
+		t.Errorf("single-column table charted: %q", out)
+	}
+}
+
+func TestRunSingleQuickExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment skipped in -short mode")
+	}
+	if err := run([]string{"-quick", "-trials", "1", "-exp", "ablation-search"}); err != nil {
+		t.Fatalf("quick single experiment failed: %v", err)
+	}
+}

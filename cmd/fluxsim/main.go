@@ -1,0 +1,195 @@
+// Command fluxsim runs a single fingerprinting scenario and renders the
+// network flux as an ASCII heat map (the qualitative view of the paper's
+// Figure 1), alongside the attack's localization output.
+//
+// Usage:
+//
+//	fluxsim -users 3 -pct 10 -seed 7
+//	fluxsim -users 2 -deploy random -noise 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fluxtrack/internal/core"
+	"fluxtrack/internal/deploy"
+	"fluxtrack/internal/fit"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fluxsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fluxsim", flag.ContinueOnError)
+	var (
+		users   = fs.Int("users", 3, "number of mobile users")
+		pct     = fs.Float64("pct", 10, "percentage of nodes the adversary sniffs")
+		nodes   = fs.Int("nodes", 900, "sensor node count")
+		deployK = fs.String("deploy", "grid", "deployment: grid or random")
+		noise   = fs.Float64("noise", 0, "multiplicative measurement noise sigma")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		samples = fs.Int("samples", 2000, "candidate positions per user")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *users <= 0 {
+		return fmt.Errorf("need at least one user, got %d", *users)
+	}
+
+	kind := deploy.PerturbedGrid
+	switch *deployK {
+	case "grid":
+	case "random":
+		kind = deploy.UniformRandom
+	default:
+		return fmt.Errorf("unknown deployment %q (want grid or random)", *deployK)
+	}
+
+	src := rng.New(*seed)
+	sc, err := core.NewScenario(core.ScenarioConfig{Nodes: *nodes, Deployment: kind}, src)
+	if err != nil {
+		return err
+	}
+	userSet := traffic.RandomUsers(sc.Field(), *users, 1, 3, src)
+	flux, err := sc.GroundFlux(userSet)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario: %d nodes (%s), avg degree %.1f, %d users, sniffing %.0f%% of nodes\n\n",
+		sc.Network().Len(), kind, sc.Network().AvgDegree(), *users, *pct)
+	fmt.Println("network flux pattern (paper Fig 1b; X marks true user positions):")
+	fmt.Print(renderFlux(sc, flux, userSet))
+
+	sniffer, err := sc.NewSniffer(*pct/100, src)
+	if err != nil {
+		return err
+	}
+	if _, err := sniffer.Observe(userSet, *noise, src); err != nil {
+		return err
+	}
+	res, err := sniffer.Localize(*users, fit.Options{Samples: *samples, TopM: 10}, src)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nNLS localization from sparse flux samples:")
+	best := res.Best[0]
+	for j, pos := range best.Positions {
+		fmt.Printf("  estimate %d: %v  (fitted stretch factor %.2f)\n", j+1, pos, best.Stretches[j])
+	}
+	fmt.Println("  true positions:")
+	for j, u := range userSet {
+		fmt.Printf("  user %d: %v  (stretch %.2f)\n", j+1, u.Pos, u.Stretch)
+	}
+	errs := matchErrors(best.Positions, userSet)
+	var mean float64
+	for _, e := range errs {
+		mean += e
+	}
+	mean /= float64(len(errs))
+	fmt.Printf("  mean matched error: %.2f (%.1f%% of field diameter)\n",
+		mean, 100*mean/sc.Field().Diameter())
+	return nil
+}
+
+// renderFlux draws the per-node flux on a character grid, brighter glyph =
+// more traffic.
+func renderFlux(sc *core.Scenario, flux []float64, users []traffic.User) string {
+	const w, h = 60, 30
+	glyphs := []byte(" .:-=+*#%@")
+	grid := make([][]float64, h)
+	counts := make([][]int, h)
+	for y := range grid {
+		grid[y] = make([]float64, w)
+		counts[y] = make([]int, w)
+	}
+	field := sc.Field()
+	var maxCell float64
+	net := sc.Network()
+	for i := 0; i < net.Len(); i++ {
+		p := net.Pos(i)
+		x := int(float64(w) * (p.X - field.Min.X) / field.Width())
+		y := int(float64(h) * (p.Y - field.Min.Y) / field.Height())
+		if x >= w {
+			x = w - 1
+		}
+		if y >= h {
+			y = h - 1
+		}
+		grid[y][x] += flux[i]
+		counts[y][x]++
+	}
+	for y := range grid {
+		for x := range grid[y] {
+			if counts[y][x] > 0 {
+				grid[y][x] /= float64(counts[y][x])
+				if grid[y][x] > maxCell {
+					maxCell = grid[y][x]
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	for y := h - 1; y >= 0; y-- {
+		for x := 0; x < w; x++ {
+			ch := byte(' ')
+			if counts[y][x] > 0 && maxCell > 0 {
+				idx := int(float64(len(glyphs)-1) * grid[y][x] / maxCell)
+				ch = glyphs[idx]
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	// Overlay true user positions.
+	out := []byte(b.String())
+	for _, u := range users {
+		x := int(float64(w) * (u.Pos.X - field.Min.X) / field.Width())
+		y := int(float64(h) * (u.Pos.Y - field.Min.Y) / field.Height())
+		if x >= w {
+			x = w - 1
+		}
+		if y >= h {
+			y = h - 1
+		}
+		row := h - 1 - y
+		out[row*(w+1)+x] = 'X'
+	}
+	return string(out)
+}
+
+// matchErrors pairs estimates with their nearest unmatched true users.
+func matchErrors(estimates []geom.Point, users []traffic.User) []float64 {
+	used := make([]bool, len(users))
+	var out []float64
+	for _, est := range estimates {
+		best, bestD := -1, 0.0
+		for j, u := range users {
+			if used[j] {
+				continue
+			}
+			d := est.Dist(u.Pos)
+			if best < 0 || d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		out = append(out, bestD)
+	}
+	return out
+}

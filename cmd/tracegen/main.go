@@ -1,0 +1,102 @@
+// Command tracegen generates synthetic campus AP-association traces in the
+// repository's syslog-like format (see internal/trace), or summarizes an
+// existing trace file. The synthetic traces substitute for the Dartmouth
+// Campus data set in the trace-driven experiment.
+//
+// Usage:
+//
+//	tracegen -users 20 -duration 400000 > campus.trace
+//	tracegen -summarize campus.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		users     = fs.Int("users", 20, "number of mobile users")
+		duration  = fs.Float64("duration", 400000, "trace duration in seconds")
+		aps       = fs.Int("aps", 500, "number of campus APs")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		summarize = fs.String("summarize", "", "summarize an existing trace file instead of generating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *summarize != "" {
+		return summary(*summarize)
+	}
+
+	src := rng.New(*seed)
+	campus, err := trace.GenerateCampus(geom.Square(1000), *aps, src)
+	if err != nil {
+		return err
+	}
+	records, err := trace.Generate(campus, trace.GenConfig{
+		NumUsers: *users,
+		Duration: *duration,
+	}, src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# synthetic campus trace: %d users, %d APs, %.0fs\n", *users, *aps, *duration)
+	fmt.Printf("# format: <time_seconds>\\t<user>\\t<ap>\n")
+	return trace.Write(os.Stdout, records)
+}
+
+func summary(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := trace.Parse(f)
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+	perUser := map[string]int{}
+	apSet := map[string]bool{}
+	minT, maxT := records[0].Time, records[0].Time
+	for _, r := range records {
+		perUser[r.User]++
+		apSet[r.AP] = true
+		if r.Time < minT {
+			minT = r.Time
+		}
+		if r.Time > maxT {
+			maxT = r.Time
+		}
+	}
+	users := make([]string, 0, len(perUser))
+	for u := range perUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	fmt.Printf("records: %d   users: %d   APs: %d   span: %.0fs - %.0fs\n",
+		len(records), len(perUser), len(apSet), minT, maxT)
+	for _, u := range users {
+		fmt.Printf("  %-12s %6d associations\n", u, perUser[u])
+	}
+	return nil
+}

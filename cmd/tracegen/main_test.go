@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGenerate(t *testing.T) {
+	// Redirect stdout to a file so the trace can be round-tripped through
+	// the -summarize path.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "campus.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = f
+	err = run([]string{"-users", "3", "-duration", "20000", "-aps", "30"})
+	os.Stdout = old
+	if cerr := f.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatalf("generate failed: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("generated trace is empty")
+	}
+	if err := run([]string{"-summarize", path}); err != nil {
+		t.Fatalf("summarize failed: %v", err)
+	}
+}
+
+func TestRunSummarizeMissingFile(t *testing.T) {
+	if err := run([]string{"-summarize", "/nonexistent/file.trace"}); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag must error")
+	}
+}

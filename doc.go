@@ -1,0 +1,13 @@
+// Package fluxtrack reproduces "Fingerprinting Mobile User Positions in
+// Sensor Networks" (Li, Jiang, Guibas — ICDCS 2010): a privacy attack that
+// localizes and tracks mobile users inside a wireless sensor network from
+// passively sniffed traffic-volume (flux) measurements alone.
+//
+// The implementation lives under internal/: see internal/core for the
+// top-level attack pipeline, internal/fluxmodel for the theoretical flux
+// model, internal/fit for the NLS parameter fitting, internal/smc for the
+// Sequential Monte Carlo tracker, and internal/exp for the experiment
+// harness that regenerates every figure of the paper's evaluation. The
+// examples/ directory contains runnable end-to-end scenarios and cmd/ the
+// command-line tools.
+package fluxtrack

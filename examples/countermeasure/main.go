@@ -1,0 +1,108 @@
+// Countermeasure: the defense sketched in the paper's future work (§6) —
+// reshape the network traffic with dummy flux so the fingerprint blurs.
+//
+// Every node injects uniform dummy traffic; the example sweeps the dummy
+// amplitude and shows the attack's localization error climbing toward the
+// random-guess baseline, quantifying how much cover traffic privacy costs.
+//
+// Run with: go run ./examples/countermeasure
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fluxtrack/internal/core"
+	"fluxtrack/internal/fit"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/traffic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	src := rng.New(31)
+	scenario, err := core.NewScenario(core.ScenarioConfig{}, src)
+	if err != nil {
+		return err
+	}
+	users := traffic.RandomUsers(scenario.Field(), 2, 1, 3, src)
+	flux, err := scenario.GroundFlux(users)
+	if err != nil {
+		return err
+	}
+	var meanFlux float64
+	for _, f := range flux {
+		meanFlux += f
+	}
+	meanFlux /= float64(len(flux))
+
+	nodes, err := traffic.PickSamplingNodes(scenario.Network(), 90, src)
+	if err != nil {
+		return err
+	}
+	points := make([]geom.Point, len(nodes))
+	for i, n := range nodes {
+		points[i] = scenario.Network().Pos(n)
+	}
+	truths := []geom.Point{users[0].Pos, users[1].Pos}
+
+	fmt.Println("two users, 10% sniffing; dummy traffic per node ~ U[0, amplitude]")
+	fmt.Println("amplitude(x mean flux) | mean localization error")
+	for _, amp := range []float64{0, 0.5, 1, 2, 4, 8} {
+		shaped := flux
+		if amp > 0 {
+			shaped = traffic.Reshape(flux, amp*meanFlux, src)
+		}
+		meas, err := traffic.Sample(shaped, nodes)
+		if err != nil {
+			return err
+		}
+		prob, err := fit.NewProblem(scenario.Model(), points, meas.Flux)
+		if err != nil {
+			return err
+		}
+		res, err := fit.Localize(prob, 2, fit.Options{Samples: 2000, TopM: 10}, src)
+		if err != nil {
+			return err
+		}
+		errMean := matchedMean(res.Best[0].Positions, truths)
+		fmt.Printf("%22.1f | %.2f\n", amp, errMean)
+	}
+	fmt.Println("\nrandom-guess baseline on a 30x30 field is ~11.7; amplitudes that push")
+	fmt.Println("the error toward it buy privacy at proportional energy cost.")
+	return nil
+}
+
+func matchedMean(ests, truths []geom.Point) float64 {
+	used := make([]bool, len(truths))
+	var sum float64
+	var n int
+	for _, est := range ests {
+		best, bestD := -1, 0.0
+		for j, tr := range truths {
+			if used[j] {
+				continue
+			}
+			d := est.Dist(tr)
+			if best < 0 || d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		sum += bestD
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,140 @@
+// Tracedriven: the paper's §5.C experiment in miniature — replay synthetic
+// campus AP-association traces (the Dartmouth-dataset substitute) through
+// the asynchronous tracker.
+//
+// Twenty users roam a campus; their association records are compressed in
+// time by a factor of 100 and a segment is windowed out. Each association
+// is a data collection: at any instant only a few users are active, and the
+// tracker's asynchronous updating (§4.E) freezes the idle ones.
+//
+// Run with: go run ./examples/tracedriven
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fluxtrack/internal/core"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/trace"
+	"fluxtrack/internal/traffic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	src := rng.New(5)
+
+	// Synthesize the campus and its traces.
+	campusArea := geom.Square(1000)
+	campus, err := trace.GenerateCampus(campusArea, 500, src)
+	if err != nil {
+		return err
+	}
+	region := geom.NewRect(geom.Pt(250, 250), geom.Pt(750, 750))
+	landmarks := campus.Landmarks(region, 50)
+	records, err := trace.Generate(trace.Campus{Area: region, APs: landmarks}, trace.GenConfig{
+		NumUsers: 20,
+		Duration: 400000,
+		MinDwell: 300, // long dwells keep the per-window active count small
+	}, src)
+	if err != nil {
+		return err
+	}
+	records, err = trace.Compress(records, 100) // the paper's x100 compression
+	if err != nil {
+		return err
+	}
+	const windowLen = 40.0
+	records = trace.Window(records, 1000, 1000+windowLen)
+
+	field := geom.Square(30)
+	paths := make([]trace.TimedPath, 0, 20)
+	for _, tp := range trace.Paths(records, landmarks) {
+		paths = append(paths, tp.MapRect(region, field))
+	}
+	fmt.Printf("trace window: %d records, %d users with activity\n", len(records), len(paths))
+
+	// Deploy the sensor field over the landmark region and attack it.
+	scenario, err := core.NewScenario(core.ScenarioConfig{}, src)
+	if err != nil {
+		return err
+	}
+	sniffer, err := scenario.NewSniffer(0.10, src)
+	if err != nil {
+		return err
+	}
+	tracker, err := sniffer.NewTracker(len(paths), core.TrackerConfig{
+		N: 400, M: 10, VMax: 5, ActiveSetLimit: 4,
+	}, 11)
+	if err != nil {
+		return err
+	}
+	stretches := make([]float64, len(paths))
+	for i := range stretches {
+		stretches[i] = src.Uniform(1, 3)
+	}
+
+	fmt.Println("\nround | active users | tracked (err of each active user)")
+	for round := 1; round <= int(windowLen); round++ {
+		t := float64(round)
+		// Users that collected data in this window.
+		var users []traffic.User
+		var truths []geom.Point
+		for i, tp := range paths {
+			collected := false
+			for _, ct := range tp.Times {
+				if ct > t-1 && ct <= t {
+					collected = true
+					break
+				}
+			}
+			if !collected {
+				continue
+			}
+			pos := field.Clamp(tp.At(t))
+			users = append(users, traffic.User{Pos: pos, Stretch: stretches[i], Active: true})
+			truths = append(truths, pos)
+		}
+		obs, err := sniffer.Observe(users, 0, src)
+		if err != nil {
+			return err
+		}
+		res, err := tracker.Step(t, obs)
+		if err != nil {
+			return err
+		}
+		if len(truths) == 0 {
+			continue
+		}
+		var actives []geom.Point
+		for _, est := range res.Estimates {
+			if est.Active {
+				actives = append(actives, est.Mean)
+			}
+		}
+		line := fmt.Sprintf("%5d | %12d |", round, len(truths))
+		for _, truth := range truths {
+			best := -1.0
+			for _, est := range actives {
+				if d := est.Dist(truth); best < 0 || d < best {
+					best = d
+				}
+			}
+			if best < 0 {
+				line += " missed"
+			} else {
+				line += fmt.Sprintf(" %.2f", best)
+			}
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("\nasynchronous collections keep the instantaneous user count small,")
+	fmt.Println("which is exactly why 20 coexisting users remain trackable (§5.C).")
+	return nil
+}

@@ -1,0 +1,89 @@
+// Tracking: follow two mobile users — whose trajectories cross — with the
+// Sequential Monte Carlo tracker of Algorithm 4.1, sniffing 10% of nodes.
+//
+// This is the scenario of the paper's Figure 7(d): when the users meet, the
+// tracker cannot distinguish their identities and may swap them, but it
+// keeps reporting both trajectories accurately.
+//
+// Run with: go run ./examples/tracking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fluxtrack/internal/core"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/mobility"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/traffic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	src := rng.New(7)
+	scenario, err := core.NewScenario(core.ScenarioConfig{}, src)
+	if err != nil {
+		return err
+	}
+
+	const rounds = 10
+	trajA, trajB, err := mobility.CrossingPair(scenario.Field(), 2.5, 0, rounds)
+	if err != nil {
+		return err
+	}
+	stretches := []float64{2.0, 2.5}
+
+	sniffer, err := scenario.NewSniffer(0.10, src)
+	if err != nil {
+		return err
+	}
+	tracker, err := sniffer.NewTracker(2, core.TrackerConfig{
+		N: 600, M: 10, VMax: 5,
+	}, 99)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("round | true A        true B        | est 1         est 2         | matched err")
+	for round := 1; round <= rounds; round++ {
+		t := float64(round)
+		truths := []geom.Point{
+			scenario.Field().Clamp(trajA.At(t)),
+			scenario.Field().Clamp(trajB.At(t)),
+		}
+		users := []traffic.User{
+			{Pos: truths[0], Stretch: stretches[0], Active: true},
+			{Pos: truths[1], Stretch: stretches[1], Active: true},
+		}
+		obs, err := sniffer.Observe(users, 0, src)
+		if err != nil {
+			return err
+		}
+		res, err := tracker.Step(t, obs)
+		if err != nil {
+			return err
+		}
+		e1, e2 := res.Estimates[0].Mean, res.Estimates[1].Mean
+		fmt.Printf("%5d | %-13s %-13s | %-13s %-13s | %.2f\n",
+			round, truths[0], truths[1], e1, e2, matchedErr([]geom.Point{e1, e2}, truths))
+	}
+	fmt.Println("\nnote: around the crossing the colored estimates may swap users —")
+	fmt.Println("the flux fingerprint carries positions, not identities (Fig 7d).")
+	return nil
+}
+
+// matchedErr returns the mean of the identity-agnostic pairing distances.
+func matchedErr(ests, truths []geom.Point) float64 {
+	d1 := (ests[0].Dist(truths[0]) + ests[1].Dist(truths[1])) / 2
+	d2 := (ests[0].Dist(truths[1]) + ests[1].Dist(truths[0])) / 2
+	if d2 < d1 {
+		return d2
+	}
+	return d1
+}

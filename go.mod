@@ -1,0 +1,3 @@
+module fluxtrack
+
+go 1.22

@@ -1,0 +1,250 @@
+// Package core is the top-level API of the flux-fingerprinting library. It
+// wires the substrates together into the paper's attack pipeline:
+//
+//	Scenario — a deployed sensor network plus its traffic simulator and a
+//	           calibrated flux model (the world).
+//	Sniffer  — a sparse set of passively monitored nodes (the adversary's
+//	           vantage), producing flux observations.
+//	           Localize / NewTracker run the NLS fit (§4.A) and the
+//	           Sequential Monte Carlo tracker (Algorithm 4.1) on those
+//	           observations.
+//
+// A minimal end-to-end attack:
+//
+//	src := rng.New(1)
+//	sc, _ := core.NewScenario(core.ScenarioConfig{}, src)
+//	sniffer, _ := sc.NewSniffer(0.1, src)           // sniff 10% of nodes
+//	users := traffic.RandomUsers(sc.Field(), 2, 1, 3, src)
+//	obs, _ := sniffer.Observe(users, 0, src)
+//	res, _ := sniffer.Localize(2, fit.Options{}, src)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fluxtrack/internal/deploy"
+	"fluxtrack/internal/fit"
+	"fluxtrack/internal/fluxmodel"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/network"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/smc"
+	"fluxtrack/internal/traffic"
+)
+
+// ScenarioConfig configures a simulated deployment. The zero value gives
+// the paper's standard setup (§5.A): 900 nodes in perturbed grids on a
+// 30x30 field with communication radius 2.4 (average degree ≈ 18).
+type ScenarioConfig struct {
+	Field      geom.Rect   // deployment field; zero means 30x30
+	Nodes      int         // node count; zero means 900
+	Radius     float64     // radio range; zero means 2.4
+	Deployment deploy.Kind // layout; zero means perturbed grid
+	// SmoothPasses is how many neighborhood-averaging passes the sniffed
+	// flux goes through before sampling. A passive sniffer physically
+	// overhears every transmission in radio range, so its reading is a
+	// neighborhood aggregate rather than a single node's counter; one pass
+	// (the default, use -1 to disable) models that.
+	SmoothPasses int
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.Field.Width() <= 0 || c.Field.Height() <= 0 {
+		c.Field = geom.Square(30)
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 900
+	}
+	if c.Radius <= 0 {
+		c.Radius = 2.4
+	}
+	if c.Deployment == 0 {
+		c.Deployment = deploy.PerturbedGrid
+	}
+	if c.SmoothPasses == 0 {
+		c.SmoothPasses = 1
+	}
+	if c.SmoothPasses < 0 {
+		c.SmoothPasses = 0
+	}
+	return c
+}
+
+// Scenario is a deployed sensor network with its traffic simulator and the
+// calibrated theoretical flux model.
+type Scenario struct {
+	cfg   ScenarioConfig
+	net   *network.Network
+	sim   *traffic.Simulator
+	model *fluxmodel.Model
+	cal   fluxmodel.Calibration
+}
+
+// NewScenario deploys a network per cfg and calibrates the flux model.
+func NewScenario(cfg ScenarioConfig, src *rng.Source) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	positions, err := deploy.Generate(deploy.Config{
+		Field: cfg.Field, N: cfg.Nodes, Kind: cfg.Deployment,
+	}, src)
+	if err != nil {
+		return nil, fmt.Errorf("core: deploy: %w", err)
+	}
+	net, err := network.New(cfg.Field, positions, cfg.Radius)
+	if err != nil {
+		return nil, fmt.Errorf("core: network: %w", err)
+	}
+	// Calibrate from a central node: hop geometry is most regular there.
+	cal, err := fluxmodel.Calibrate(net, net.Nearest(cfg.Field.Center()))
+	if err != nil {
+		return nil, fmt.Errorf("core: calibrate: %w", err)
+	}
+	model, err := fluxmodel.ForNetwork(net, cal)
+	if err != nil {
+		return nil, fmt.Errorf("core: model: %w", err)
+	}
+	return &Scenario{
+		cfg:   cfg,
+		net:   net,
+		sim:   traffic.NewSimulator(net),
+		model: model,
+		cal:   cal,
+	}, nil
+}
+
+// Field returns the deployment field.
+func (s *Scenario) Field() geom.Rect { return s.cfg.Field }
+
+// Network returns the deployed network.
+func (s *Scenario) Network() *network.Network { return s.net }
+
+// Simulator returns the ground-truth traffic simulator.
+func (s *Scenario) Simulator() *traffic.Simulator { return s.sim }
+
+// Model returns the calibrated flux model.
+func (s *Scenario) Model() *fluxmodel.Model { return s.model }
+
+// Calibration returns the model calibration constants.
+func (s *Scenario) Calibration() fluxmodel.Calibration { return s.cal }
+
+// GroundFlux simulates the cumulated per-node flux for the users and
+// applies the scenario's sniffer smoothing passes.
+func (s *Scenario) GroundFlux(users []traffic.User) ([]float64, error) {
+	flux, err := s.sim.Flux(users)
+	if err != nil {
+		return nil, err
+	}
+	for pass := 0; pass < s.cfg.SmoothPasses; pass++ {
+		flux, err = s.net.SmoothOverNeighborhood(flux)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return flux, nil
+}
+
+// Sniffer is the adversary's vantage: a sparse subset of monitored nodes.
+type Sniffer struct {
+	scenario *Scenario
+	nodes    []int
+	points   []geom.Point
+	lastObs  []float64
+}
+
+// NewSniffer picks ceil(fraction*N) random nodes to monitor. The paper
+// evaluates fractions from 40% down to 5%.
+func (s *Scenario) NewSniffer(fraction float64, src *rng.Source) (*Sniffer, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("core: sniffer fraction %v outside (0, 1]", fraction)
+	}
+	count := int(math.Ceil(fraction * float64(s.net.Len())))
+	return s.NewSnifferCount(count, src)
+}
+
+// NewSnifferCount picks exactly count random nodes to monitor.
+func (s *Scenario) NewSnifferCount(count int, src *rng.Source) (*Sniffer, error) {
+	nodes, err := traffic.PickSamplingNodes(s.net, count, src)
+	if err != nil {
+		return nil, fmt.Errorf("core: sniffer: %w", err)
+	}
+	points := make([]geom.Point, len(nodes))
+	for i, n := range nodes {
+		points[i] = s.net.Pos(n)
+	}
+	return &Sniffer{scenario: s, nodes: nodes, points: points}, nil
+}
+
+// Nodes returns the monitored node indices.
+func (sn *Sniffer) Nodes() []int { return append([]int(nil), sn.nodes...) }
+
+// Points returns the monitored node positions.
+func (sn *Sniffer) Points() []geom.Point { return append([]geom.Point(nil), sn.points...) }
+
+// Observe simulates one measurement window: the users' combined flux,
+// smoothed, sampled at the monitored nodes, with optional multiplicative
+// measurement noise of the given sigma. The observation is retained for a
+// subsequent Localize call.
+func (sn *Sniffer) Observe(users []traffic.User, noiseSigma float64, src *rng.Source) ([]float64, error) {
+	flux, err := sn.scenario.GroundFlux(users)
+	if err != nil {
+		return nil, err
+	}
+	m, err := traffic.Sample(flux, sn.nodes)
+	if err != nil {
+		return nil, err
+	}
+	if noiseSigma > 0 {
+		m = m.AddNoise(noiseSigma, src)
+	}
+	sn.lastObs = m.Flux
+	return append([]float64(nil), m.Flux...), nil
+}
+
+// Problem builds the NLS fitting problem for an observation vector (readings
+// aligned with Points).
+func (sn *Sniffer) Problem(observation []float64) (*fit.Problem, error) {
+	return fit.NewProblem(sn.scenario.model, sn.points, observation)
+}
+
+// Localize runs the instant-localization attack (§5.A) on the most recent
+// observation.
+func (sn *Sniffer) Localize(numUsers int, opts fit.Options, src *rng.Source) (fit.Result, error) {
+	if sn.lastObs == nil {
+		return fit.Result{}, errors.New("core: Localize requires a prior Observe call")
+	}
+	prob, err := sn.Problem(sn.lastObs)
+	if err != nil {
+		return fit.Result{}, err
+	}
+	return fit.Localize(prob, numUsers, opts, src)
+}
+
+// TrackerConfig tunes a tracker created by NewTracker. Zero values take the
+// paper's defaults (N=1000, M=10, VMax=5).
+type TrackerConfig struct {
+	N                 int
+	M                 int
+	VMax              float64
+	Search            fit.Options
+	UniformWeights    bool // disable §4.D importance weighting (ablation)
+	ActiveSetLimit    int  // cap on users searched per round (§5.C regime)
+	HeadingPrediction bool // §4.C refinement: dead-reckoned prediction discs
+}
+
+// NewTracker builds a Sequential Monte Carlo tracker (Algorithm 4.1) that
+// consumes this sniffer's observations.
+func (sn *Sniffer) NewTracker(numUsers int, cfg TrackerConfig, seed uint64) (*smc.Tracker, error) {
+	return smc.New(smc.Config{
+		Model:             sn.scenario.model,
+		SamplePoints:      sn.points,
+		NumUsers:          numUsers,
+		N:                 cfg.N,
+		M:                 cfg.M,
+		VMax:              cfg.VMax,
+		Search:            cfg.Search,
+		UniformWeights:    cfg.UniformWeights,
+		ActiveSetLimit:    cfg.ActiveSetLimit,
+		HeadingPrediction: cfg.HeadingPrediction,
+	}, seed)
+}

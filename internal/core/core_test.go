@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fluxtrack/internal/deploy"
+	"fluxtrack/internal/fit"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/traffic"
+)
+
+func defaultScenario(t testing.TB, seed uint64) *Scenario {
+	t.Helper()
+	sc, err := NewScenario(ScenarioConfig{}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestScenarioDefaults(t *testing.T) {
+	sc := defaultScenario(t, 1)
+	if sc.Network().Len() != 900 {
+		t.Errorf("node count = %d, want 900", sc.Network().Len())
+	}
+	if sc.Field() != geom.Square(30) {
+		t.Errorf("field = %v, want 30x30", sc.Field())
+	}
+	if sc.Network().Radius() != 2.4 {
+		t.Errorf("radius = %v, want 2.4", sc.Network().Radius())
+	}
+	if d := sc.Network().AvgDegree(); d < 12 || d > 22 {
+		t.Errorf("average degree = %v, want ~18", d)
+	}
+	if sc.Calibration().HopLength <= 0 {
+		t.Error("calibration hop length not positive")
+	}
+	if sc.Model() == nil || sc.Simulator() == nil {
+		t.Error("scenario accessors returned nil")
+	}
+}
+
+func TestScenarioCustomConfig(t *testing.T) {
+	sc, err := NewScenario(ScenarioConfig{
+		Nodes: 300, Radius: 3, Deployment: deploy.UniformRandom, SmoothPasses: -1,
+	}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Network().Len() != 300 {
+		t.Errorf("node count = %d, want 300", sc.Network().Len())
+	}
+	// SmoothPasses -1 disables smoothing: GroundFlux equals raw flux.
+	users := []traffic.User{{Pos: geom.Pt(15, 15), Stretch: 2, Active: true}}
+	gf, err := sc.GroundFlux(users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := sc.Simulator().Flux(users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gf {
+		if gf[i] != raw[i] {
+			t.Fatal("SmoothPasses=-1 still smoothed the flux")
+		}
+	}
+}
+
+func TestGroundFluxSmoothing(t *testing.T) {
+	sc := defaultScenario(t, 3)
+	users := []traffic.User{{Pos: geom.Pt(15, 15), Stretch: 2, Active: true}}
+	smoothed, err := sc.GroundFlux(users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := sc.Simulator().Flux(users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rawPeak := traffic.PeakNode(raw)
+	_, smPeak := traffic.PeakNode(smoothed)
+	if smPeak >= rawPeak {
+		t.Errorf("smoothing did not reduce the peak: %v >= %v", smPeak, rawPeak)
+	}
+	// Total flux is redistributed, not created: totals stay comparable.
+	var rawSum, smSum float64
+	for i := range raw {
+		rawSum += raw[i]
+		smSum += smoothed[i]
+	}
+	if math.Abs(rawSum-smSum)/rawSum > 0.2 {
+		t.Errorf("smoothing changed total flux too much: %v vs %v", smSum, rawSum)
+	}
+}
+
+func TestNewSnifferValidation(t *testing.T) {
+	sc := defaultScenario(t, 4)
+	src := rng.New(5)
+	if _, err := sc.NewSniffer(0, src); err == nil {
+		t.Error("zero fraction must error")
+	}
+	if _, err := sc.NewSniffer(1.5, src); err == nil {
+		t.Error("fraction > 1 must error")
+	}
+	sn, err := sc.NewSniffer(0.1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sn.Nodes()) != 90 {
+		t.Errorf("10%% sniffer has %d nodes, want 90", len(sn.Nodes()))
+	}
+	if len(sn.Points()) != 90 {
+		t.Errorf("points length %d, want 90", len(sn.Points()))
+	}
+}
+
+func TestObserveAndLocalizeEndToEnd(t *testing.T) {
+	sc := defaultScenario(t, 6)
+	src := rng.New(7)
+	sn, err := sc.NewSniffer(0.1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []traffic.User{{Pos: geom.Pt(12, 17), Stretch: 2, Active: true}}
+	obs, err := sn.Observe(users, 0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 90 {
+		t.Fatalf("observation length %d, want 90", len(obs))
+	}
+	res, err := sn.Localize(1, fit.Options{Samples: 2000, TopM: 10}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Best[0].Positions[0]
+	if d := got.Dist(users[0].Pos); d > 3 {
+		t.Errorf("localization error %.2f, want <= 3 (estimate %v)", d, got)
+	}
+}
+
+func TestLocalizeWithoutObserve(t *testing.T) {
+	sc := defaultScenario(t, 8)
+	sn, err := sc.NewSniffer(0.1, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sn.Localize(1, fit.Options{}, rng.New(10)); err == nil {
+		t.Error("Localize before Observe must error")
+	}
+}
+
+func TestObserveNoise(t *testing.T) {
+	sc := defaultScenario(t, 11)
+	src := rng.New(12)
+	sn, err := sc.NewSniffer(0.1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []traffic.User{{Pos: geom.Pt(15, 15), Stretch: 2, Active: true}}
+	clean, err := sn.Observe(users, 0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := sn.Observe(users, 0.3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range clean {
+		if clean[i] != noisy[i] {
+			diff++
+		}
+	}
+	if diff < len(clean)/2 {
+		t.Errorf("noise changed only %d/%d readings", diff, len(clean))
+	}
+}
+
+func TestTrackerEndToEnd(t *testing.T) {
+	sc := defaultScenario(t, 13)
+	src := rng.New(14)
+	sn, err := sc.NewSniffer(0.1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker, err := sn.NewTracker(1, TrackerConfig{N: 300, M: 10, VMax: 5}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr float64
+	for step := 1; step <= 6; step++ {
+		pos := geom.Pt(5+2*float64(step), 15)
+		obs, err := sn.Observe([]traffic.User{{Pos: pos, Stretch: 2, Active: true}}, 0, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tracker.Step(float64(step), obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastErr = res.Estimates[0].Mean.Dist(pos)
+	}
+	if lastErr > 3 {
+		t.Errorf("final tracking error %.2f, want <= 3", lastErr)
+	}
+}
+
+func TestSnifferAccessorsCopy(t *testing.T) {
+	sc := defaultScenario(t, 16)
+	sn, err := sc.NewSniffer(0.05, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := sn.Nodes()
+	nodes[0] = -42
+	if sn.Nodes()[0] == -42 {
+		t.Error("Nodes returned aliasing storage")
+	}
+	pts := sn.Points()
+	pts[0] = geom.Pt(-1, -1)
+	if sn.Points()[0] == geom.Pt(-1, -1) {
+		t.Error("Points returned aliasing storage")
+	}
+}

@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"fluxtrack/internal/core"
+	"fluxtrack/internal/fit"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/traffic"
+)
+
+// Example demonstrates the end-to-end attack: deploy, observe through a
+// sparse sniffer, and localize a mobile user from traffic volume alone.
+func Example() {
+	src := rng.New(42)
+	scenario, err := core.NewScenario(core.ScenarioConfig{}, src)
+	if err != nil {
+		fmt.Println("scenario:", err)
+		return
+	}
+	sniffer, err := scenario.NewSniffer(0.10, src)
+	if err != nil {
+		fmt.Println("sniffer:", err)
+		return
+	}
+	user := traffic.User{Pos: geom.Pt(12, 18), Stretch: 2, Active: true}
+	if _, err := sniffer.Observe([]traffic.User{user}, 0, src); err != nil {
+		fmt.Println("observe:", err)
+		return
+	}
+	res, err := sniffer.Localize(1, fit.Options{Samples: 2000, TopM: 10}, src)
+	if err != nil {
+		fmt.Println("localize:", err)
+		return
+	}
+	errDist := res.Best[0].Positions[0].Dist(user.Pos)
+	fmt.Printf("sniffed nodes: %d\n", len(sniffer.Nodes()))
+	fmt.Printf("recovered within 3 units: %v\n", errDist < 3)
+	// Output:
+	// sniffed nodes: 90
+	// recovered within 3 units: true
+}

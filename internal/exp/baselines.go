@@ -1,0 +1,221 @@
+package exp
+
+import (
+	"math"
+
+	"fluxtrack/internal/core"
+	"fluxtrack/internal/ekf"
+	"fluxtrack/internal/fit"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/mobility"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/stats"
+	"fluxtrack/internal/traffic"
+)
+
+// BaselineEKF compares the Sequential Monte Carlo tracker against the two
+// classical techniques the paper's related work cites for remote tracking
+// (ablation A6): the Extended Kalman Filter and constrained NLS (CNLS).
+// Both are linearized local methods; on the piecewise-smooth flux objective
+// they only work from a good initialization, while the SMC tracker
+// self-bootstraps.
+func BaselineEKF(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "baseline-ekf",
+		Title:   "SMC tracker vs EKF/CNLS baselines (1 user, 10% sampling, random walk)",
+		Paper:   "§2/§4.A: linearized solvers need differentiability and good starts; SMC does not",
+		Columns: []string{"tracker", "final_err_mean", "final_err_p90", "lost_frac(err>5)"},
+	}
+
+	type cell struct {
+		errs []float64
+		lost int
+	}
+	var smcCell, ekfBlind, ekfOracle, cnlsBlind, cnlsOracle cell
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		seed := cfg.trialSeed("ablA6", 0, trial)
+		sc := mustScenario(defaultScenarioCfg(), seed)
+		src := rng.New(seed + 17)
+		walk, err := mobility.NewRandomWalk(sc.Field(), src.InRect(sc.Field()), 3, cfg.Rounds+1, src)
+		if err != nil {
+			return Table{}, err
+		}
+		sniffer, err := sc.NewSnifferCount(90, src)
+		if err != nil {
+			return Table{}, err
+		}
+		stretch := src.Uniform(1, 3)
+
+		// SMC tracker (blind initialization, as always).
+		tracker, err := sniffer.NewTracker(1, core.TrackerConfig{
+			N: cfg.TrackN, M: cfg.TrackM, VMax: 5,
+		}, seed+1)
+		if err != nil {
+			return Table{}, err
+		}
+		// EKF blind (field-center initialization) and EKF oracle (started
+		// at the walk's true origin — the only regime where it is fair).
+		blind, err := ekf.New(ekf.Config{
+			Model: sc.Model(), SamplePoints: sniffer.Points(),
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		oracle, err := ekf.New(ekf.Config{
+			Model: sc.Model(), SamplePoints: sniffer.Points(),
+			InitPos: walk.At(0), InitUncertainty: 2,
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		// CNLS, blind and seeded at the true origin.
+		cnlsB, err := fit.NewCNLSTracker(sc.Model(), sniffer.Points(), 5, 5)
+		if err != nil {
+			return Table{}, err
+		}
+		cnlsO, err := fit.NewCNLSTracker(sc.Model(), sniffer.Points(), 5, 5)
+		if err != nil {
+			return Table{}, err
+		}
+		cnlsO.Seed(walk.At(0), 0)
+
+		var smcErr, blindErr, oracleErr, cnlsBErr, cnlsOErr float64
+		for round := 1; round <= cfg.Rounds; round++ {
+			tm := float64(round)
+			truth := walk.At(tm)
+			obs, err := sniffer.Observe([]traffic.User{
+				{Pos: truth, Stretch: stretch, Active: true},
+			}, 0, src)
+			if err != nil {
+				return Table{}, err
+			}
+			res, err := tracker.Step(tm, obs)
+			if err != nil {
+				return Table{}, err
+			}
+			smcErr = res.Estimates[0].Mean.Dist(truth)
+			bp, err := blind.Step(1, obs)
+			if err != nil {
+				return Table{}, err
+			}
+			blindErr = bp.Dist(truth)
+			op, err := oracle.Step(1, obs)
+			if err != nil {
+				return Table{}, err
+			}
+			oracleErr = op.Dist(truth)
+			cb, err := cnlsB.Step(tm, obs, src)
+			if err != nil {
+				return Table{}, err
+			}
+			cnlsBErr = cb.Dist(truth)
+			co, err := cnlsO.Step(tm, obs, src)
+			if err != nil {
+				return Table{}, err
+			}
+			cnlsOErr = co.Dist(truth)
+		}
+		record := func(c *cell, e float64) {
+			c.errs = append(c.errs, e)
+			if e > 5 {
+				c.lost++
+			}
+		}
+		record(&smcCell, smcErr)
+		record(&ekfBlind, blindErr)
+		record(&ekfOracle, oracleErr)
+		record(&cnlsBlind, cnlsBErr)
+		record(&cnlsOracle, cnlsOErr)
+	}
+
+	addRow := func(name string, c cell) {
+		t.Rows = append(t.Rows, []string{
+			name,
+			f2(stats.Mean(c.errs)),
+			f2(stats.Percentile(c.errs, 90)),
+			f3(float64(c.lost) / float64(len(c.errs))),
+		})
+	}
+	addRow("smc (blind)", smcCell)
+	addRow("ekf (blind)", ekfBlind)
+	addRow("ekf (oracle init)", ekfOracle)
+	addRow("cnls (blind)", cnlsBlind)
+	addRow("cnls (oracle init)", cnlsOracle)
+	return t, nil
+}
+
+// AblationHeading evaluates the §4.C mobility-model refinement: prediction
+// discs dead-reckoned along the estimated heading with half the radius,
+// versus the paper's blind uniform-disc model (ablation A7). Straight-line
+// movers benefit; the blind model is the safe default.
+func AblationHeading(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "ablation-heading",
+		Title:   "Heading-informed vs blind prediction (1 user, 10% sampling, straight mover)",
+		Paper:   "§4.C: the mobility model can be refined given the user's heading",
+		Columns: []string{"prediction", "final_err_mean", "mean_err_all_rounds"},
+	}
+	for _, heading := range []bool{false, true} {
+		var finals, all []float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := cfg.trialSeed("ablA7", boolCell(heading), trial)
+			sc := mustScenario(defaultScenarioCfg(), seed)
+			src := rng.New(seed + 17)
+			sniffer, err := sc.NewSnifferCount(90, src)
+			if err != nil {
+				return Table{}, err
+			}
+			tracker, err := sniffer.NewTracker(1, core.TrackerConfig{
+				N: cfg.TrackN, M: cfg.TrackM, VMax: 5,
+			}, seed+1)
+			if err != nil {
+				return Table{}, err
+			}
+			if heading {
+				tracker, err = sniffer.NewTracker(1, core.TrackerConfig{
+					N: cfg.TrackN, M: cfg.TrackM, VMax: 5, HeadingPrediction: true,
+				}, seed+1)
+				if err != nil {
+					return Table{}, err
+				}
+			}
+			traj := mobility.Linear{Start: src.InRect(sc.Field()),
+				V: randomHeading(src, 2.5)}
+			stretch := src.Uniform(1, 3)
+			var last float64
+			for round := 1; round <= cfg.Rounds; round++ {
+				tm := float64(round)
+				truth := sc.Field().Clamp(traj.At(tm))
+				obs, err := sniffer.Observe([]traffic.User{
+					{Pos: truth, Stretch: stretch, Active: true},
+				}, 0, src)
+				if err != nil {
+					return Table{}, err
+				}
+				res, err := tracker.Step(tm, obs)
+				if err != nil {
+					return Table{}, err
+				}
+				last = res.Estimates[0].Mean.Dist(truth)
+				all = append(all, last)
+			}
+			finals = append(finals, last)
+		}
+		label := "blind disc"
+		if heading {
+			label = "heading"
+		}
+		t.Rows = append(t.Rows, []string{label, f2(stats.Mean(finals)), f2(stats.Mean(all))})
+	}
+	return t, nil
+}
+
+// randomHeading returns a velocity with the given speed in a random
+// direction.
+func randomHeading(src *rng.Source, speed float64) geom.Vec {
+	theta := src.Uniform(0, 2*math.Pi)
+	return geom.Vec{DX: speed * math.Cos(theta), DY: speed * math.Sin(theta)}
+}

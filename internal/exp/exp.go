@@ -1,0 +1,172 @@
+// Package exp reproduces every figure of the paper's evaluation section
+// (§3.B statistics and §5), plus the ablation studies listed in DESIGN.md.
+// Each experiment returns a Table whose rows regenerate the corresponding
+// figure's data series; cmd/fluxbench prints them and bench_test.go wraps
+// them in testing.B benchmarks.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"fluxtrack/internal/core"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/traffic"
+)
+
+// Table is one experiment's regenerated data.
+type Table struct {
+	ID      string     // experiment id, e.g. "fig6a"
+	Title   string     // what the table shows
+	Paper   string     // the shape the paper reports, for side-by-side reading
+	Columns []string   // column headers
+	Rows    [][]string // data rows
+}
+
+// Render returns the table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s\n", t.ID, t.Title)
+	if t.Paper != "" {
+		fmt.Fprintf(&b, "   paper: %s\n", t.Paper)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Config scales experiment effort. DefaultConfig matches the paper's
+// settings; QuickConfig shrinks everything so the full suite runs in
+// seconds (used by benchmarks and smoke tests).
+type Config struct {
+	Seed    uint64 // base seed; experiments derive per-trial seeds from it
+	Trials  int    // repetitions per configuration cell
+	Samples int    // candidate positions per user in localization searches
+	TrackN  int    // SMC prediction samples per user per round
+	TrackM  int    // SMC kept representatives
+	Rounds  int    // tracking rounds per trial
+}
+
+// DefaultConfig returns the paper-faithful settings (§5): 10,000 samples
+// per user for instant localization, N=1000/M=10 for tracking, 10 rounds.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Trials: 10, Samples: 10000, TrackN: 1000, TrackM: 10, Rounds: 10}
+}
+
+// QuickConfig returns a configuration small enough for benchmarks while
+// preserving every code path.
+func QuickConfig() Config {
+	return Config{Seed: 1, Trials: 2, Samples: 800, TrackN: 200, TrackM: 10, Rounds: 6}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Trials <= 0 {
+		c.Trials = d.Trials
+	}
+	if c.Samples <= 0 {
+		c.Samples = d.Samples
+	}
+	if c.TrackN <= 0 {
+		c.TrackN = d.TrackN
+	}
+	if c.TrackM <= 0 {
+		c.TrackM = d.TrackM
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = d.Rounds
+	}
+	return c
+}
+
+// trialSeed derives a deterministic seed for one (experiment, cell, trial)
+// coordinate.
+func (c Config) trialSeed(exp string, cell, trial int) uint64 {
+	h := c.Seed
+	for _, ch := range exp {
+		h = h*1099511628211 + uint64(ch)
+	}
+	h = h*1099511628211 + uint64(cell)*2654435761
+	h = h*1099511628211 + uint64(trial)*40503
+	return h
+}
+
+// matchErrors greedily pairs each estimate with its nearest unmatched true
+// user position and returns the pairing distances. Tracker and localization
+// identities are exchangeable, so evaluation always matches by proximity
+// (the paper measures errors the same way after identity mixups).
+func matchErrors(estimates, truths []geom.Point) []float64 {
+	used := make([]bool, len(truths))
+	out := make([]float64, 0, len(estimates))
+	for _, est := range estimates {
+		best, bestD := -1, 0.0
+		for j, tr := range truths {
+			if used[j] {
+				continue
+			}
+			d := est.Dist(tr)
+			if best < 0 || d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		out = append(out, bestD)
+	}
+	return out
+}
+
+// activeUsers converts positions and stretches into active traffic users.
+func activeUsers(positions []geom.Point, stretches []float64) []traffic.User {
+	users := make([]traffic.User, len(positions))
+	for i := range positions {
+		users[i] = traffic.User{Pos: positions[i], Stretch: stretches[i], Active: true}
+	}
+	return users
+}
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// scenarioOrDie builds a scenario and panics on configuration errors, which
+// in the experiment harness are always programming errors in the experiment
+// definitions themselves.
+// defaultScenarioCfg is the paper's standard deployment (§5.A): 900 nodes,
+// perturbed grids, 30x30 field, radius 2.4.
+func defaultScenarioCfg() core.ScenarioConfig { return core.ScenarioConfig{} }
+
+func mustScenario(cfg core.ScenarioConfig, seed uint64) *core.Scenario {
+	sc, err := core.NewScenario(cfg, rng.New(seed))
+	if err != nil {
+		panic(fmt.Sprintf("exp: scenario: %v", err))
+	}
+	return sc
+}

@@ -1,0 +1,203 @@
+package exp
+
+import (
+	"fmt"
+
+	"fluxtrack/internal/core"
+	"fluxtrack/internal/deploy"
+	"fluxtrack/internal/fluxmodel"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/stats"
+	"fluxtrack/internal/traffic"
+)
+
+// fig3Setting describes one network-density cell of Figure 3.
+type fig3Setting struct {
+	label  string
+	nodes  int
+	radius float64
+}
+
+// fig3Settings reproduces the degrees the paper examines: uniform random
+// 2500-node networks with average degree 12, 16, and 27 on a square field.
+func fig3Settings() []fig3Setting {
+	return []fig3Setting{
+		{"degree=12", 2500, 1.2},
+		{"degree=16", 2500, 1.4},
+		{"degree=27", 2500, 1.8},
+	}
+}
+
+// fig3Accuracy computes the model accuracy statistics for one setting with
+// the given number of smoothing passes applied to the measured flux.
+func fig3Accuracy(cfg Config, set fig3Setting, smoothPasses, trial int) (fluxmodel.AccuracyStats, error) {
+	seed := cfg.trialSeed("fig3"+set.label, smoothPasses, trial)
+	src := rng.New(seed)
+	sc, err := core.NewScenario(core.ScenarioConfig{
+		Nodes:        set.nodes,
+		Radius:       set.radius,
+		Deployment:   deploy.UniformRandom,
+		SmoothPasses: smoothPassArg(smoothPasses),
+	}, src)
+	if err != nil {
+		return fluxmodel.AccuracyStats{}, err
+	}
+	user := traffic.User{Pos: src.InRect(sc.Field()), Stretch: 2, Active: true}
+	measured, err := sc.GroundFlux([]traffic.User{user})
+	if err != nil {
+		return fluxmodel.AccuracyStats{}, err
+	}
+	return fluxmodel.Accuracy(sc.Network(), sc.Model(), user.Pos, measured,
+		user.Stretch, sc.Calibration().HopLength, 1)
+}
+
+// smoothPassArg converts an experiment's pass count into the ScenarioConfig
+// encoding (0 means "default 1", -1 disables).
+func smoothPassArg(passes int) int {
+	if passes == 0 {
+		return -1
+	}
+	return passes
+}
+
+// Fig3a regenerates Figure 3(a): the CDF of the model approximation error
+// rate under three network densities. Rows are error-rate thresholds; one
+// column per density reports the fraction of nodes at or below it.
+func Fig3a(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	settings := fig3Settings()
+	thresholds := []float64{0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0}
+
+	perSetting := make([][]float64, len(settings))
+	for si, set := range settings {
+		var all []float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			acc, err := fig3Accuracy(cfg, set, 1, trial)
+			if err != nil {
+				return Table{}, err
+			}
+			all = append(all, acc.ErrRates...)
+		}
+		perSetting[si] = all
+	}
+
+	t := Table{
+		ID:    "fig3a",
+		Title: "CDF of flux-model approximation error rate vs network density",
+		Paper: "80%+ of nodes below 0.4 error rate; denser networks fit better",
+		Columns: []string{"err_rate<=",
+			settings[0].label, settings[1].label, settings[2].label},
+	}
+	for _, th := range thresholds {
+		row := []string{f2(th)}
+		for si := range settings {
+			row = append(row, f3(stats.CDFAt(perSetting[si], th)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig3b regenerates Figure 3(b): measured vs model-approximated flux by hop
+// distance from the sink in the degree-12 network, plus the share of the
+// network flux carried by nodes three or more hops out.
+func Fig3b(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	set := fig3Settings()[0] // degree 12, as the paper plots
+
+	type hopAgg struct {
+		n                   int
+		measured, predicted float64
+	}
+	agg := map[int]*hopAgg{}
+	var energyShare []float64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		acc, err := fig3Accuracy(cfg, set, 1, trial)
+		if err != nil {
+			return Table{}, err
+		}
+		for _, b := range acc.ByHop {
+			if b.N == 0 {
+				continue
+			}
+			a := agg[b.Hop]
+			if a == nil {
+				a = &hopAgg{}
+				agg[b.Hop] = a
+			}
+			a.n += b.N
+			a.measured += b.Measured * float64(b.N)
+			a.predicted += b.Predicted * float64(b.N)
+		}
+		energyShare = append(energyShare, acc.EnergyPreserved3Plus)
+	}
+
+	t := Table{
+		ID:      "fig3b",
+		Title:   "Measured vs model flux by hop distance (degree 12)",
+		Paper:   "approximation error decreases with hops; 3+ hop nodes keep 70%+ flux energy",
+		Columns: []string{"hop", "nodes", "measured", "model", "rel_err"},
+	}
+	maxHop := 0
+	for h := range agg {
+		if h > maxHop {
+			maxHop = h
+		}
+	}
+	for h := 1; h <= maxHop && h <= 16; h++ {
+		a := agg[h]
+		if a == nil || a.n == 0 {
+			continue
+		}
+		meas := a.measured / float64(a.n)
+		pred := a.predicted / float64(a.n)
+		rel := 0.0
+		if meas > 0 {
+			rel = abs(meas-pred) / meas
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", h), fmt.Sprintf("%d", a.n), f2(meas), f2(pred), f3(rel),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"3+ hop flux share", "", f3(stats.Mean(energyShare)), "", "",
+	})
+	return t, nil
+}
+
+// AblationSmoothing quantifies how the sniffer's neighborhood-aggregation
+// passes affect model fit quality (design choice A3 in DESIGN.md): the
+// fraction of nodes under 0.4 error rate with 0, 1, and 2 passes.
+func AblationSmoothing(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	set := fig3Settings()[1] // degree 16
+	t := Table{
+		ID:      "ablation-smoothing",
+		Title:   "Model fit quality vs flux smoothing passes (degree 16)",
+		Paper:   "the paper recommends neighborhood averaging for a smoother flux map",
+		Columns: []string{"smooth_passes", "frac_err<=0.4", "median_err"},
+	}
+	for _, passes := range []int{0, 1, 2} {
+		var all []float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			acc, err := fig3Accuracy(cfg, set, passes, trial)
+			if err != nil {
+				return Table{}, err
+			}
+			all = append(all, acc.ErrRates...)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", passes),
+			f3(stats.CDFAt(all, 0.4)),
+			f3(stats.Median(all)),
+		})
+	}
+	return t, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

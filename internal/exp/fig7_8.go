@@ -1,0 +1,266 @@
+package exp
+
+import (
+	"fmt"
+
+	"fluxtrack/internal/core"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/mobility"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/stats"
+)
+
+// trackTrial runs one tracking trial: k users following the given
+// trajectories, observed over cfg.Rounds windows at unit intervals through
+// a sniffer of sampleCount nodes. It returns the identity-agnostic matched
+// error per round (averaged over users).
+func trackTrial(cfg Config, sc *core.Scenario, trajectories []mobility.Trajectory,
+	sampleCount int, vmax float64, uniformWeights bool, src *rng.Source) ([]float64, error) {
+	sniffer, err := sc.NewSnifferCount(sampleCount, src)
+	if err != nil {
+		return nil, err
+	}
+	k := len(trajectories)
+	stretches := make([]float64, k)
+	for i := range stretches {
+		stretches[i] = src.Uniform(1, 3)
+	}
+	tracker, err := sniffer.NewTracker(k, core.TrackerConfig{
+		N: cfg.TrackN, M: cfg.TrackM, VMax: vmax, UniformWeights: uniformWeights,
+	}, src.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	perRound := make([]float64, 0, cfg.Rounds)
+	for round := 1; round <= cfg.Rounds; round++ {
+		t := float64(round)
+		truths := make([]geom.Point, k)
+		for i, tr := range trajectories {
+			truths[i] = sc.Field().Clamp(tr.At(t))
+		}
+		obs, err := sniffer.Observe(activeUsers(truths, stretches), 0, src)
+		if err != nil {
+			return nil, err
+		}
+		res, err := tracker.Step(t, obs)
+		if err != nil {
+			return nil, err
+		}
+		estimates := make([]geom.Point, k)
+		for i, est := range res.Estimates {
+			estimates[i] = est.Mean
+		}
+		perRound = append(perRound, stats.Mean(matchErrors(estimates, truths)))
+	}
+	return perRound, nil
+}
+
+// randomWalks builds k independent speed-bounded walks.
+func randomWalks(sc *core.Scenario, k int, maxSpeed float64, rounds int, src *rng.Source) ([]mobility.Trajectory, error) {
+	out := make([]mobility.Trajectory, k)
+	for i := range out {
+		w, err := mobility.NewRandomWalk(sc.Field(), src.InRect(sc.Field()), maxSpeed, rounds+1, src)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// Fig7 regenerates Figure 7: per-round tracking error for the four instant
+// cases — one, two, and three users on straight trajectories, plus the
+// crossing pair of Fig 7(d) — with full-network flux, N and M at the
+// paper's values, and max speed below 5 per interval.
+func Fig7(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "fig7",
+		Title:   "Per-round tracking error (full-network flux)",
+		Paper:   "estimates converge to trajectories; 1-user error < 2 by the final rounds; crossing users keep trajectories but may swap identities",
+		Columns: []string{"round", "1 user", "2 users", "3 users", "2 users crossing"},
+	}
+
+	cases := []struct {
+		name string
+		traj func(sc *core.Scenario, src *rng.Source) ([]mobility.Trajectory, error)
+	}{
+		{"one", func(sc *core.Scenario, src *rng.Source) ([]mobility.Trajectory, error) {
+			return []mobility.Trajectory{
+				mobility.Linear{Start: geom.Pt(4, 15), V: geom.Vec{DX: 2, DY: 0.5}},
+			}, nil
+		}},
+		{"two", func(sc *core.Scenario, src *rng.Source) ([]mobility.Trajectory, error) {
+			return []mobility.Trajectory{
+				mobility.Linear{Start: geom.Pt(4, 6), V: geom.Vec{DX: 2, DY: 1}},
+				mobility.Linear{Start: geom.Pt(26, 24), V: geom.Vec{DX: -2, DY: -0.5}},
+			}, nil
+		}},
+		{"three", func(sc *core.Scenario, src *rng.Source) ([]mobility.Trajectory, error) {
+			return []mobility.Trajectory{
+				mobility.Linear{Start: geom.Pt(4, 4), V: geom.Vec{DX: 2, DY: 1.5}},
+				mobility.Linear{Start: geom.Pt(26, 6), V: geom.Vec{DX: -2, DY: 1}},
+				mobility.Linear{Start: geom.Pt(15, 26), V: geom.Vec{DX: 0.5, DY: -2}},
+			}, nil
+		}},
+		{"crossing", func(sc *core.Scenario, src *rng.Source) ([]mobility.Trajectory, error) {
+			a, b, err := mobility.CrossingPair(sc.Field(), 2.5, 0, float64(cfg.Rounds))
+			if err != nil {
+				return nil, err
+			}
+			return []mobility.Trajectory{a, b}, nil
+		}},
+	}
+
+	perCase := make([][]float64, len(cases)) // [case][round] mean error
+	for ci, cs := range cases {
+		sums := make([]float64, cfg.Rounds)
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := cfg.trialSeed("fig7"+cs.name, ci, trial)
+			sc := mustScenario(defaultScenarioCfg(), seed)
+			src := rng.New(seed + 17)
+			trajs, err := cs.traj(sc, src)
+			if err != nil {
+				return Table{}, err
+			}
+			perRound, err := trackTrial(cfg, sc, trajs, sc.Network().Len(), 5, false, src)
+			if err != nil {
+				return Table{}, err
+			}
+			for r, e := range perRound {
+				sums[r] += e
+			}
+		}
+		for r := range sums {
+			sums[r] /= float64(cfg.Trials)
+		}
+		perCase[ci] = sums
+	}
+
+	for r := 0; r < cfg.Rounds; r++ {
+		row := []string{fmt.Sprintf("%d", r+1)}
+		for ci := range cases {
+			row = append(row, f2(perCase[ci][r]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig8a regenerates Figure 8(a): final-round tracking error vs the
+// percentage of sampling nodes for 1-4 users on random walks.
+func Fig8a(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "fig8a",
+		Title:   "Tracking error vs percentage of sampling nodes",
+		Paper:   "accuracy stable until sampling drops below 5%; 10% of nodes already acceptable",
+		Columns: []string{"pct", "1 user", "2 users", "3 users", "4 users"},
+	}
+	for _, pct := range []int{40, 20, 10, 5} {
+		row := []string{fmt.Sprintf("%d%%", pct)}
+		for _, k := range []int{1, 2, 3, 4} {
+			var errs []float64
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed := cfg.trialSeed("fig8a", pct*10+k, trial)
+				sc := mustScenario(defaultScenarioCfg(), seed)
+				src := rng.New(seed + 17)
+				trajs, err := randomWalks(sc, k, 4, cfg.Rounds, src)
+				if err != nil {
+					return Table{}, err
+				}
+				count := sc.Network().Len() * pct / 100
+				perRound, err := trackTrial(cfg, sc, trajs, count, 5, false, src)
+				if err != nil {
+					return Table{}, err
+				}
+				errs = append(errs, perRound[len(perRound)-1])
+			}
+			row = append(row, f2(stats.Mean(errs)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig8b regenerates Figure 8(b): final-round tracking error vs node count
+// with the report count fixed at 90.
+func Fig8b(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "fig8b",
+		Title:   "Tracking error vs node count (90 reports fixed)",
+		Paper:   "network density does not significantly affect tracking accuracy",
+		Columns: []string{"nodes", "1 user", "2 users", "3 users", "4 users"},
+	}
+	for _, nodes := range []int{900, 1200, 1500, 1800} {
+		row := []string{fmt.Sprintf("%d", nodes)}
+		for _, k := range []int{1, 2, 3, 4} {
+			var errs []float64
+			for trial := 0; trial < cfg.Trials; trial++ {
+				seed := cfg.trialSeed("fig8b", nodes+k, trial)
+				scc := defaultScenarioCfg()
+				scc.Nodes = nodes
+				sc := mustScenario(scc, seed)
+				src := rng.New(seed + 17)
+				trajs, err := randomWalks(sc, k, 4, cfg.Rounds, src)
+				if err != nil {
+					return Table{}, err
+				}
+				perRound, err := trackTrial(cfg, sc, trajs, 90, 5, false, src)
+				if err != nil {
+					return Table{}, err
+				}
+				errs = append(errs, perRound[len(perRound)-1])
+			}
+			row = append(row, f2(stats.Mean(errs)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// AblationImportance compares importance-weighted resampling (§4.D) with
+// the uniform-weight variant (design choice A2): final-round tracking error
+// for two users at 10% sampling.
+func AblationImportance(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:      "ablation-importance",
+		Title:   "Importance sampling on/off (2 users, 10% sampling)",
+		Paper:   "the paper adopts importance sampling for faster, more accurate convergence",
+		Columns: []string{"weighting", "final_err_mean", "final_err_p90"},
+	}
+	for _, uniform := range []bool{false, true} {
+		var errs []float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := cfg.trialSeed("ablA2", boolCell(uniform), trial)
+			sc := mustScenario(defaultScenarioCfg(), seed)
+			src := rng.New(seed + 17)
+			trajs, err := randomWalks(sc, 2, 4, cfg.Rounds, src)
+			if err != nil {
+				return Table{}, err
+			}
+			perRound, err := trackTrial(cfg, sc, trajs, 90, 5, uniform, src)
+			if err != nil {
+				return Table{}, err
+			}
+			errs = append(errs, perRound[len(perRound)-1])
+		}
+		label := "importance"
+		if uniform {
+			label = "uniform"
+		}
+		t.Rows = append(t.Rows, []string{
+			label, f2(stats.Mean(errs)), f2(stats.Percentile(errs, 90)),
+		})
+	}
+	return t, nil
+}
+
+func boolCell(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,112 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/mat"
+	"fluxtrack/internal/rng"
+)
+
+// LocalizeLM is the "traditional numerical technique" baseline the paper
+// argues against (§4.A): it attacks the NLS objective directly with
+// Levenberg-Marquardt over the 3K-dimensional parameter vector
+// (x_1, y_1, c_1, ..., x_K, y_K, c_K), restarting from random initial
+// guesses and keeping the best converged solution.
+//
+// Because the boundary-distance term l makes the objective only piecewise
+// smooth on a rectangular field, LM frequently stalls in poor local minima;
+// the ablation experiment A1 quantifies exactly that failure mode against
+// the candidate-ranking search.
+func LocalizeLM(p *Problem, numUsers, restarts int, src *rng.Source) (Eval, error) {
+	if numUsers <= 0 {
+		return Eval{}, fmt.Errorf("fit: numUsers must be positive, got %d", numUsers)
+	}
+	if restarts <= 0 {
+		restarts = 10
+	}
+	field := p.model.Field()
+	scale := stretchScale(p)
+
+	best := Eval{Objective: math.Inf(1)}
+	for attempt := 0; attempt < restarts; attempt++ {
+		x0 := make([]float64, 3*numUsers)
+		for j := 0; j < numUsers; j++ {
+			pos := src.InRect(field)
+			x0[3*j] = pos.X
+			x0[3*j+1] = pos.Y
+			x0[3*j+2] = src.Uniform(0.1, 2) * scale
+		}
+		res, err := mat.LevenbergMarquardt(p.lmResiduals(numUsers), x0, mat.NLSOptions{MaxIter: 200})
+		if err != nil && res.X == nil {
+			continue // this restart diverged outright; try another
+		}
+		ev := p.evalFromVector(res.X, numUsers)
+		if ev.Objective < best.Objective {
+			best = ev
+		}
+	}
+	if math.IsInf(best.Objective, 1) {
+		return Eval{}, fmt.Errorf("fit: all %d LM restarts failed", restarts)
+	}
+	return best, nil
+}
+
+// lmResiduals adapts the flux objective to the mat.Residualer interface.
+// Positions are clamped into the field and stretches to non-negative values
+// so LM cannot wander into regions where the model is undefined.
+func (p *Problem) lmResiduals(numUsers int) mat.Residualer {
+	return func(x []float64) []float64 {
+		sinks, cs := unpackParams(x, numUsers, p.model.Field())
+		pred, err := p.model.PredictFlux(sinks, cs, p.points)
+		if err != nil {
+			// Cannot happen: unpackParams always aligns the slices.
+			pred = make([]float64, len(p.points))
+		}
+		res := mat.Sub(pred, p.measured)
+		if p.weights != nil {
+			for i, w := range p.weights {
+				res[i] *= w
+			}
+		}
+		return res
+	}
+}
+
+func (p *Problem) evalFromVector(x []float64, numUsers int) Eval {
+	sinks, cs := unpackParams(x, numUsers, p.model.Field())
+	pred, _ := p.model.PredictFlux(sinks, cs, p.points)
+	return Eval{
+		Positions: sinks,
+		Stretches: cs,
+		Objective: mat.Norm2(mat.Sub(pred, p.measured)),
+	}
+}
+
+func unpackParams(x []float64, numUsers int, field geom.Rect) ([]geom.Point, []float64) {
+	sinks := make([]geom.Point, numUsers)
+	cs := make([]float64, numUsers)
+	for j := 0; j < numUsers; j++ {
+		sinks[j] = field.Clamp(geom.Pt(x[3*j], x[3*j+1]))
+		cs[j] = math.Max(0, x[3*j+2])
+	}
+	return sinks, cs
+}
+
+// stretchScale returns a crude magnitude estimate for initial stretch
+// factors: the ratio of the mean measurement to the mean kernel value at
+// the field center.
+func stretchScale(p *Problem) float64 {
+	center := p.model.Field().Center()
+	col := p.KernelColumn(center)
+	var meanK, meanF float64
+	for i := range col {
+		meanK += col[i]
+		meanF += p.measured[i]
+	}
+	if meanK <= 0 {
+		return 1
+	}
+	return math.Max(meanF/meanK, 1e-6)
+}

@@ -1,0 +1,634 @@
+// Package fit implements the paper's NLS parameter fitting (§4.A): given
+// flux measurements F′ at a sparse set of sniffed nodes and the theoretical
+// flux model, find the mobile-user positions and integrated stretch factors
+// c_j = s_j/r that minimize ‖F − F′‖₂.
+//
+// The estimated flux is linear in the stretch factors once positions are
+// fixed, so every position evaluation reduces to a non-negative least
+// squares solve; the outer, genuinely non-convex search over positions uses
+// candidate ranking — exhaustively over all Nᴷ compositions when feasible
+// (exactly the filtering step of Algorithm 4.1), and by iterated conditional
+// ranking otherwise.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"fluxtrack/internal/fluxmodel"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/mat"
+	"fluxtrack/internal/rng"
+)
+
+// Problem is one fingerprinting instance: what the adversary knows.
+type Problem struct {
+	model    *fluxmodel.Model
+	points   []geom.Point // positions of the sniffed nodes
+	measured []float64    // flux readings F′ at those nodes
+	weights  []float64    // per-sample weights applied inside the objective
+}
+
+// NewProblem builds a Problem with unit weights (the plain ‖F − F′‖₂
+// objective of Equation 4.1). The sample points and measurements must align
+// and be non-empty.
+func NewProblem(model *fluxmodel.Model, points []geom.Point, measured []float64) (*Problem, error) {
+	return NewProblemWeighted(model, points, measured, nil)
+}
+
+// NewProblemWeighted builds a Problem whose objective is the weighted norm
+// ‖W(F − F′)‖₂ with W = diag(weights). The flux model fits poorly within a
+// couple of hops of a sink (§3.B), and under sparse sampling a single
+// near-sink reading can otherwise dominate the objective, so relative
+// weights (e.g. 1/(F′_i + q)) make the fit behave like the paper's
+// error-rate metric. Pass nil weights for the unweighted objective; weights
+// must otherwise align with points and be positive.
+func NewProblemWeighted(model *fluxmodel.Model, points []geom.Point, measured, weights []float64) (*Problem, error) {
+	if model == nil {
+		return nil, errors.New("fit: nil model")
+	}
+	if len(points) == 0 {
+		return nil, errors.New("fit: no sampling points")
+	}
+	if len(points) != len(measured) {
+		return nil, fmt.Errorf("fit: %d points but %d measurements", len(points), len(measured))
+	}
+	if weights != nil {
+		if len(weights) != len(points) {
+			return nil, fmt.Errorf("fit: %d points but %d weights", len(points), len(weights))
+		}
+		for i, w := range weights {
+			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("fit: weight[%d] = %v must be positive and finite", i, w)
+			}
+		}
+		weights = append([]float64(nil), weights...)
+	}
+	return &Problem{
+		model:    model,
+		points:   append([]geom.Point(nil), points...),
+		measured: append([]float64(nil), measured...),
+		weights:  weights,
+	}, nil
+}
+
+// RelativeWeights returns the weighting scheme used throughout the
+// evaluation: w_i = 1/(F′_i + q) with q = 0.2·mean(F′) + 1, which turns the
+// objective into (approximately) a relative-error fit and keeps near-sink
+// readings from dominating. Use with NewProblemWeighted.
+func RelativeWeights(measured []float64) []float64 {
+	var mean float64
+	for _, f := range measured {
+		mean += f
+	}
+	if len(measured) > 0 {
+		mean /= float64(len(measured))
+	}
+	q := 0.2*mean + 1
+	ws := make([]float64, len(measured))
+	for i, f := range measured {
+		ws[i] = 1 / (math.Max(f, 0) + q)
+	}
+	return ws
+}
+
+// Model returns the flux model of the problem.
+func (p *Problem) Model() *fluxmodel.Model { return p.model }
+
+// NumSamples returns the number of sniffed nodes.
+func (p *Problem) NumSamples() int { return len(p.points) }
+
+// Measured returns a copy of the measurement vector F′.
+func (p *Problem) Measured() []float64 { return append([]float64(nil), p.measured...) }
+
+// KernelColumn returns the kernel vector g(sink, p_i) over the sample
+// points. Candidate search precomputes these columns once per candidate.
+func (p *Problem) KernelColumn(sink geom.Point) []float64 {
+	return p.model.KernelVector(sink, p.points)
+}
+
+// Eval is the outcome of evaluating one composition of user positions.
+type Eval struct {
+	Positions []geom.Point // one position per user
+	Stretches []float64    // fitted integrated stretch factors c_j = s_j/r
+	Objective float64      // ‖F − F′‖₂ at the optimum over stretches
+}
+
+// Evaluate fits the stretch factors for the given candidate positions and
+// returns the minimized objective (Equation 4.1 with c solved in closed
+// form by NNLS).
+func (p *Problem) Evaluate(positions []geom.Point) (Eval, error) {
+	cols := make([][]float64, len(positions))
+	for j, pos := range positions {
+		cols[j] = p.KernelColumn(pos)
+	}
+	return p.evaluateColumns(positions, cols)
+}
+
+// evaluateColumns is Evaluate with precomputed kernel columns.
+func (p *Problem) evaluateColumns(positions []geom.Point, cols [][]float64) (Eval, error) {
+	if len(positions) == 0 {
+		return Eval{}, errors.New("fit: no candidate positions")
+	}
+	n, k := len(p.points), len(positions)
+	a := mat.NewDense(n, k)
+	b := p.measured
+	if p.weights != nil {
+		b = make([]float64, n)
+		for i, w := range p.weights {
+			b[i] = w * p.measured[i]
+		}
+	}
+	for j, col := range cols {
+		for i, v := range col {
+			if p.weights != nil {
+				v *= p.weights[i]
+			}
+			a.Set(i, j, v)
+		}
+	}
+	cs, err := mat.NNLS(a, b)
+	if err != nil {
+		return Eval{}, fmt.Errorf("fit: stretch fit: %w", err)
+	}
+	pred, err := a.MulVec(cs)
+	if err != nil {
+		return Eval{}, err
+	}
+	return Eval{
+		Positions: append([]geom.Point(nil), positions...),
+		Stretches: cs,
+		Objective: mat.Norm2(mat.Sub(pred, b)),
+	}, nil
+}
+
+// Options configures the candidate search.
+type Options struct {
+	// Samples is the number of candidate positions drawn per user when the
+	// caller does not supply explicit candidates (default 2000; the paper's
+	// instant-localization experiment uses 10000).
+	Samples int
+	// TopM is how many best compositions / per-user positions to keep
+	// (default 10, as in the paper).
+	TopM int
+	// MaxExhaustive caps the composition count for exhaustive enumeration;
+	// above it the iterated conditional search runs instead (default 2e5).
+	MaxExhaustive int
+	// Sweeps is the number of refinement sweeps of the iterated conditional
+	// search (default 3).
+	Sweeps int
+	// Restarts is how many independent greedy initializations the iterated
+	// conditional search tries, keeping the run with the lowest objective
+	// (default 3; only one run happens with a single user). Coordinate
+	// descent over user positions has local minima — e.g. two estimates
+	// collapsing onto one strong user — and restarts with permuted user
+	// order escape most of them.
+	Restarts int
+	// Seed randomizes the restart permutations; runs with equal seeds and
+	// inputs are identical.
+	Seed uint64
+	// Workers bounds the goroutines evaluating candidates concurrently.
+	// Candidate evaluations are independent, so parallel and serial runs
+	// produce identical results. Zero means GOMAXPROCS; 1 forces serial.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Samples <= 0 {
+		o.Samples = 2000
+	}
+	if o.TopM <= 0 {
+		o.TopM = 10
+	}
+	if o.MaxExhaustive <= 0 {
+		o.MaxExhaustive = 200000
+	}
+	if o.Sweeps <= 0 {
+		o.Sweeps = 3
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 3
+	}
+	return o
+}
+
+// Result is the outcome of a localization search.
+type Result struct {
+	// Best holds the TopM best compositions in ascending objective order.
+	Best []Eval
+	// PerUser[j] holds user j's TopM best candidate positions with the
+	// objective each achieved in its best composition; the SMC filter
+	// consumes exactly this ranking.
+	PerUser [][]RankedPosition
+	// Exhaustive reports whether every composition was enumerated (true) or
+	// the iterated conditional approximation ran (false).
+	Exhaustive bool
+}
+
+// RankedPosition is one candidate position with its best known objective.
+type RankedPosition struct {
+	Pos       geom.Point
+	Index     int     // index of the position in the user's candidate list
+	Stretch   float64 // fitted c for this user in that composition
+	Objective float64
+}
+
+// Localize draws Samples random candidate positions per user inside the
+// field and searches for the K-user composition best explaining the
+// measurements. It is the paper's instant-localization procedure (§5.A).
+func Localize(p *Problem, numUsers int, opts Options, src *rng.Source) (Result, error) {
+	opts = opts.withDefaults()
+	if numUsers <= 0 {
+		return Result{}, fmt.Errorf("fit: numUsers must be positive, got %d", numUsers)
+	}
+	field := p.model.Field()
+	cands := make([][]geom.Point, numUsers)
+	for j := range cands {
+		cands[j] = make([]geom.Point, opts.Samples)
+		for i := range cands[j] {
+			cands[j][i] = src.InRect(field)
+		}
+	}
+	return SearchCandidates(p, cands, opts)
+}
+
+// SearchCandidates ranks compositions built from explicit per-user candidate
+// lists. The SMC tracker calls it with the predicted sample sets.
+func SearchCandidates(p *Problem, candidates [][]geom.Point, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if len(candidates) == 0 {
+		return Result{}, errors.New("fit: no users")
+	}
+	for j, c := range candidates {
+		if len(c) == 0 {
+			return Result{}, fmt.Errorf("fit: user %d has no candidates", j)
+		}
+	}
+	// Precompute kernel columns per candidate.
+	cols := make([][][]float64, len(candidates))
+	total := 1
+	overflow := false
+	for j, cs := range candidates {
+		cols[j] = make([][]float64, len(cs))
+		for i, c := range cs {
+			cols[j][i] = p.KernelColumn(c)
+		}
+		if total > opts.MaxExhaustive/len(cs) {
+			overflow = true
+		} else {
+			total *= len(cs)
+		}
+	}
+	if !overflow && total <= opts.MaxExhaustive {
+		return searchExhaustive(p, candidates, cols, opts)
+	}
+	return searchConditional(p, candidates, cols, opts)
+}
+
+// searchExhaustive evaluates every composition — the literal filtering step
+// of Algorithm 4.1. Compositions are enumerated by linear index (decoded
+// mixed-radix) and sharded across workers; each worker keeps local top-M
+// and per-user bests that merge deterministically afterwards.
+func searchExhaustive(p *Problem, candidates [][]geom.Point, cols [][][]float64, opts Options) (Result, error) {
+	k := len(candidates)
+	total := 1
+	for _, cs := range candidates {
+		total *= len(cs)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	type partial struct {
+		best        []Eval
+		perUserBest []map[int]Eval
+		err         error
+	}
+	partials := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pt := &partials[w]
+			pt.perUserBest = make([]map[int]Eval, k)
+			for j := range pt.perUserBest {
+				pt.perUserBest[j] = make(map[int]Eval)
+			}
+			idx := make([]int, k)
+			positions := make([]geom.Point, k)
+			curCols := make([][]float64, k)
+			lo := total * w / workers
+			hi := total * (w + 1) / workers
+			for lin := lo; lin < hi; lin++ {
+				// Decode the linear index into per-user candidate indices.
+				rem := lin
+				for j := k - 1; j >= 0; j-- {
+					idx[j] = rem % len(candidates[j])
+					rem /= len(candidates[j])
+				}
+				for j := range idx {
+					positions[j] = candidates[j][idx[j]]
+					curCols[j] = cols[j][idx[j]]
+				}
+				ev, err := p.evaluateColumns(positions, curCols)
+				if err != nil {
+					pt.err = err
+					return
+				}
+				pt.best = insertTopM(pt.best, ev, opts.TopM)
+				for j := range idx {
+					if cur, ok := pt.perUserBest[j][idx[j]]; !ok || ev.Objective < cur.Objective {
+						pt.perUserBest[j][idx[j]] = ev
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var best []Eval
+	perUserBest := make([]map[int]Eval, k)
+	for j := range perUserBest {
+		perUserBest[j] = make(map[int]Eval)
+	}
+	for w := range partials {
+		if err := partials[w].err; err != nil {
+			return Result{}, err
+		}
+		for _, ev := range partials[w].best {
+			best = insertTopM(best, ev, opts.TopM)
+		}
+		for j, m := range partials[w].perUserBest {
+			for i, ev := range m {
+				if cur, ok := perUserBest[j][i]; !ok || ev.Objective < cur.Objective {
+					perUserBest[j][i] = ev
+				}
+			}
+		}
+	}
+
+	res := Result{Best: best, Exhaustive: true, PerUser: make([][]RankedPosition, k)}
+	for j := range perUserBest {
+		res.PerUser[j] = rankFromMap(candidates[j], perUserBest[j], j, opts.TopM)
+	}
+	return res, nil
+}
+
+// parallelFor runs fn(i) for every i in [0, n) on up to workers goroutines
+// (GOMAXPROCS when workers <= 0). The first error wins; fn invocations must
+// be independent.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := n * w / workers
+			hi := n * (w + 1) / workers
+			for i := lo; i < hi; i++ {
+				if err := fn(i); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// searchConditional approximates the exhaustive ranking: users are
+// initialized greedily one at a time (mirroring the recursive briefing of
+// §3.C) and then refined by coordinate sweeps, re-ranking each user's
+// candidates while the other users sit at their incumbent best positions.
+// Multiple restarts with permuted initialization order guard against the
+// local minima of this coordinate descent; the restart with the lowest
+// final objective wins.
+func searchConditional(p *Problem, candidates [][]geom.Point, cols [][][]float64, opts Options) (Result, error) {
+	k := len(candidates)
+	restarts := opts.Restarts
+	if k == 1 {
+		restarts = 1 // a single sweep already ranks every candidate exactly
+	}
+	src := rng.New(opts.Seed ^ 0xf1a7)
+
+	var best Result
+	bestObj := math.Inf(1)
+	for attempt := 0; attempt < restarts; attempt++ {
+		order := src.Perm(k)
+		res, err := runConditional(p, candidates, cols, order, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		if len(res.Best) > 0 && res.Best[0].Objective < bestObj {
+			best, bestObj = res, res.Best[0].Objective
+		}
+	}
+	return best, nil
+}
+
+// runConditional performs one greedy initialization (in the given user
+// order) followed by refinement sweeps.
+func runConditional(p *Problem, candidates [][]geom.Point, cols [][][]float64, order []int, opts Options) (Result, error) {
+	k := len(candidates)
+	bestIdx := make([]int, k)
+	assigned := make([]bool, k)
+
+	// Greedy initialization: place users one at a time, each minimizing the
+	// joint objective with the already-placed ones.
+	for _, j := range order {
+		if _, _, err := rankUserConditional(p, candidates, cols, bestIdx, assigned, j, 1, opts.Workers); err != nil {
+			return Result{}, err
+		}
+		assigned[j] = true
+	}
+
+	// Refinement sweeps with full per-user rankings on the final sweep.
+	var res Result
+	res.PerUser = make([][]RankedPosition, k)
+	for sweep := 0; sweep < opts.Sweeps; sweep++ {
+		final := sweep == opts.Sweeps-1
+		for j := 0; j < k; j++ {
+			ranked, bestEval, err := rankUserConditional(p, candidates, cols, bestIdx, assigned, j, opts.TopM, opts.Workers)
+			if err != nil {
+				return Result{}, err
+			}
+			if final {
+				res.PerUser[j] = ranked
+				res.Best = insertTopM(res.Best, bestEval, opts.TopM)
+			}
+		}
+	}
+	return res, nil
+}
+
+// rankUserConditional ranks user j's candidates with every other assigned
+// user fixed at its incumbent position. It updates bestIdx[j] to the winner
+// and returns the topM ranking plus the winning evaluation.
+func rankUserConditional(p *Problem, candidates [][]geom.Point, cols [][][]float64,
+	bestIdx []int, assigned []bool, j, topM, workers int) ([]RankedPosition, Eval, error) {
+	k := len(candidates)
+	// Fixed context: assigned users other than j.
+	var fixedPos []geom.Point
+	var fixedCols [][]float64
+	for o := 0; o < k; o++ {
+		if o == j || !assigned[o] {
+			continue
+		}
+		fixedPos = append(fixedPos, candidates[o][bestIdx[o]])
+		fixedCols = append(fixedCols, cols[o][bestIdx[o]])
+	}
+
+	ranked := make([]RankedPosition, len(candidates[j]))
+	evals := make([]Eval, len(candidates[j]))
+	err := parallelFor(len(candidates[j]), workers, func(i int) error {
+		// Per-goroutine copies of the composition scratch space.
+		pos := make([]geom.Point, len(fixedPos)+1)
+		cc := make([][]float64, len(fixedCols)+1)
+		copy(pos, fixedPos)
+		copy(cc, fixedCols)
+		pos[len(fixedPos)] = candidates[j][i]
+		cc[len(fixedCols)] = cols[j][i]
+		ev, err := p.evaluateColumns(pos, cc)
+		if err != nil {
+			return err
+		}
+		evals[i] = ev
+		ranked[i] = RankedPosition{
+			Pos:       candidates[j][i],
+			Index:     i,
+			Stretch:   ev.Stretches[len(fixedPos)],
+			Objective: ev.Objective,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Eval{}, err
+	}
+	var bestEval Eval
+	bestEval.Objective = math.Inf(1)
+	bestI := bestIdx[j]
+	for i := range evals {
+		if evals[i].Objective < bestEval.Objective {
+			bestEval = evals[i]
+			bestI = i
+		}
+	}
+	bestIdx[j] = bestI
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].Objective != ranked[b].Objective {
+			return ranked[a].Objective < ranked[b].Objective
+		}
+		return ranked[a].Index < ranked[b].Index
+	})
+	if len(ranked) > topM {
+		ranked = ranked[:topM]
+	}
+	// bestEval's slices are ordered [fixed users..., user j], not by user
+	// index. Re-evaluate the full composition in user order so Positions
+	// and Stretches align user-by-user for the caller; this needs every
+	// user assigned, so the greedy-initialization phase (where it is not
+	// consumed) skips it.
+	allAssigned := true
+	for o := 0; o < k; o++ {
+		if o != j && !assigned[o] {
+			allAssigned = false
+			break
+		}
+	}
+	if allAssigned {
+		full := make([]geom.Point, k)
+		fullCols := make([][]float64, k)
+		for o := 0; o < k; o++ {
+			full[o] = candidates[o][bestIdx[o]]
+			fullCols[o] = cols[o][bestIdx[o]]
+		}
+		ev, err := p.evaluateColumns(full, fullCols)
+		if err != nil {
+			return nil, Eval{}, err
+		}
+		bestEval = ev
+	}
+	return ranked, bestEval, nil
+}
+
+// insertTopM inserts ev into the ascending-by-objective slice best, keeping
+// at most m entries.
+func insertTopM(best []Eval, ev Eval, m int) []Eval {
+	pos := sort.Search(len(best), func(i int) bool { return best[i].Objective > ev.Objective })
+	if pos >= m {
+		return best
+	}
+	best = append(best, Eval{})
+	copy(best[pos+1:], best[pos:])
+	best[pos] = ev
+	if len(best) > m {
+		best = best[:m]
+	}
+	return best
+}
+
+func rankFromMap(cands []geom.Point, m map[int]Eval, user, topM int) []RankedPosition {
+	ranked := make([]RankedPosition, 0, len(m))
+	for i, ev := range m {
+		ranked = append(ranked, RankedPosition{
+			Pos:       cands[i],
+			Index:     i,
+			Stretch:   ev.Stretches[user],
+			Objective: ev.Objective,
+		})
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].Objective != ranked[b].Objective {
+			return ranked[a].Objective < ranked[b].Objective
+		}
+		return ranked[a].Index < ranked[b].Index
+	})
+	if len(ranked) > topM {
+		ranked = ranked[:topM]
+	}
+	return ranked
+}
+
+// MeanPosition returns the average of the ranked positions, the "report of
+// the majority" the paper uses to aggregate the top-M predictions.
+func MeanPosition(ranked []RankedPosition) (geom.Point, bool) {
+	if len(ranked) == 0 {
+		return geom.Point{}, false
+	}
+	var x, y float64
+	for _, r := range ranked {
+		x += r.Pos.X
+		y += r.Pos.Y
+	}
+	n := float64(len(ranked))
+	return geom.Pt(x/n, y/n), true
+}

@@ -1,0 +1,103 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"fluxtrack/internal/fluxmodel"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/rng"
+)
+
+func TestNewProblemWeightedValidation(t *testing.T) {
+	m, err := fluxmodel.New(geom.Square(30), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []geom.Point{geom.Pt(5, 5), geom.Pt(10, 10)}
+	meas := []float64{1, 2}
+	if _, err := NewProblemWeighted(m, pts, meas, []float64{1}); err == nil {
+		t.Error("weight length mismatch must error")
+	}
+	if _, err := NewProblemWeighted(m, pts, meas, []float64{1, 0}); err == nil {
+		t.Error("zero weight must error")
+	}
+	if _, err := NewProblemWeighted(m, pts, meas, []float64{1, -1}); err == nil {
+		t.Error("negative weight must error")
+	}
+	if _, err := NewProblemWeighted(m, pts, meas, []float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight must error")
+	}
+	if _, err := NewProblemWeighted(m, pts, meas, []float64{1, 2}); err != nil {
+		t.Errorf("valid weights rejected: %v", err)
+	}
+}
+
+func TestWeightedObjectiveScalesResiduals(t *testing.T) {
+	truth := geom.Pt(15, 15)
+	p, pts := modelProblem(t, []geom.Point{truth}, []float64{2}, 40, 21)
+
+	// Same data with all weights = 2 must double the objective of any
+	// (non-optimal) composition.
+	weights := make([]float64, len(pts))
+	for i := range weights {
+		weights[i] = 2
+	}
+	pw, err := NewProblemWeighted(p.Model(), pts, p.Measured(), weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := []geom.Point{geom.Pt(5, 25)}
+	evA, err := p.Evaluate(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evB, err := pw.Evaluate(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(evB.Objective-2*evA.Objective) > 1e-6*evA.Objective {
+		t.Errorf("uniform 2x weights: objective %v, want %v", evB.Objective, 2*evA.Objective)
+	}
+	// Fitted stretches are invariant under uniform weighting.
+	if math.Abs(evA.Stretches[0]-evB.Stretches[0]) > 1e-9 {
+		t.Errorf("stretch changed under uniform weighting: %v vs %v",
+			evA.Stretches[0], evB.Stretches[0])
+	}
+}
+
+func TestRelativeWeights(t *testing.T) {
+	meas := []float64{0, 10, 1000}
+	ws := RelativeWeights(meas)
+	if len(ws) != 3 {
+		t.Fatalf("got %d weights", len(ws))
+	}
+	// Weights are positive and strictly decreasing in the measurement.
+	for i, w := range ws {
+		if w <= 0 {
+			t.Errorf("weight[%d] = %v not positive", i, w)
+		}
+	}
+	if !(ws[0] > ws[1] && ws[1] > ws[2]) {
+		t.Errorf("weights not decreasing with flux: %v", ws)
+	}
+	if got := RelativeWeights(nil); len(got) != 0 {
+		t.Errorf("RelativeWeights(nil) = %v", got)
+	}
+}
+
+func TestWeightedLocalizeStillRecovers(t *testing.T) {
+	truth := geom.Pt(12, 18)
+	p, pts := modelProblem(t, []geom.Point{truth}, []float64{2}, 90, 22)
+	pw, err := NewProblemWeighted(p.Model(), pts, p.Measured(), RelativeWeights(p.Measured()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Localize(pw, 1, Options{Samples: 2000, TopM: 10}, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Best[0].Positions[0].Dist(truth); d > 1.5 {
+		t.Errorf("weighted localization error %.2f, want <= 1.5", d)
+	}
+}

@@ -1,0 +1,199 @@
+// Package geom provides the planar geometry primitives used throughout the
+// flux-fingerprinting pipeline: points, rectangles, and the ray/boundary
+// intersection that defines the model parameter l (the distance from a mobile
+// sink to the network boundary along the direction of an observed node).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by the vector v.
+func (p Point) Add(v Vec) Point { return Point{X: p.X + v.DX, Y: p.Y + v.DY} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vec { return Vec{DX: p.X - q.X, DY: p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root on hot paths such as unit-disk neighbor construction.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// Vec is a displacement in the plane.
+type Vec struct {
+	DX float64 `json:"dx"`
+	DY float64 `json:"dy"`
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec) Norm() float64 { return math.Hypot(v.DX, v.DY) }
+
+// Scale returns v scaled by k.
+func (v Vec) Scale(k float64) Vec { return Vec{DX: v.DX * k, DY: v.DY * k} }
+
+// Unit returns the unit vector in the direction of v, and false when v is the
+// zero vector (in which case the zero vector is returned).
+func (v Vec) Unit() (Vec, bool) {
+	n := v.Norm()
+	if n == 0 {
+		return Vec{}, false
+	}
+	return Vec{DX: v.DX / n, DY: v.DY / n}, true
+}
+
+// Dot returns the dot product of v and w.
+func (v Vec) Dot(w Vec) float64 { return v.DX*w.DX + v.DY*w.DY }
+
+// Rect is an axis-aligned rectangle. It is the canonical shape of the sensor
+// field in the paper's evaluation (a 30 by 30 square field). Min is the
+// lower-left corner and Max the upper-right corner.
+type Rect struct {
+	Min Point `json:"min"`
+	Max Point `json:"max"`
+}
+
+// NewRect returns the axis-aligned rectangle spanned by the two corner
+// points, normalizing the corner order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{X: math.Min(a.X, b.X), Y: math.Min(a.Y, b.Y)},
+		Max: Point{X: math.Max(a.X, b.X), Y: math.Max(a.Y, b.Y)},
+	}
+}
+
+// Square returns the square field [0, side] x [0, side].
+func Square(side float64) Rect {
+	return Rect{Min: Point{}, Max: Point{X: side, Y: side}}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Diameter returns the length of the rectangle diagonal. The paper reports
+// localization errors as fractions of the field diameter.
+func (r Rect) Diameter() float64 { return r.Min.Dist(r.Max) }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.Min.X + r.Max.X) / 2, Y: (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Contains reports whether p lies inside r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns the point of r nearest to p.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Max(r.Min.X, math.Min(r.Max.X, p.X)),
+		Y: math.Max(r.Min.Y, math.Min(r.Max.Y, p.Y)),
+	}
+}
+
+// RayExit returns the distance t >= 0 from origin to the boundary of r along
+// the direction dir, i.e. the largest t such that origin + t*dir still lies
+// in r. This is the parameter l of the flux model: the distance from the
+// mobile sink to the network boundary along the direction of a node.
+//
+// origin must lie inside r and dir must be non-zero; otherwise ok is false.
+// The computation is the standard slab method specialized to a ray known to
+// start inside the box, so exactly one positive exit parameter exists.
+func (r Rect) RayExit(origin Point, dir Vec) (t float64, ok bool) {
+	if !r.Contains(origin) {
+		return 0, false
+	}
+	u, ok := dir.Unit()
+	if !ok {
+		return 0, false
+	}
+	t = math.Inf(1)
+	// Horizontal slabs.
+	if u.DX > 0 {
+		t = math.Min(t, (r.Max.X-origin.X)/u.DX)
+	} else if u.DX < 0 {
+		t = math.Min(t, (r.Min.X-origin.X)/u.DX)
+	}
+	// Vertical slabs.
+	if u.DY > 0 {
+		t = math.Min(t, (r.Max.Y-origin.Y)/u.DY)
+	} else if u.DY < 0 {
+		t = math.Min(t, (r.Min.Y-origin.Y)/u.DY)
+	}
+	if math.IsInf(t, 1) {
+		// dir was zero after normalization; cannot happen given ok above,
+		// but guard against degenerate rectangles with zero extent.
+		return 0, false
+	}
+	return math.Max(t, 0), true
+}
+
+// BoundaryDistThrough returns the distance l from origin to the boundary of
+// r along the ray that passes through the point via. When via coincides with
+// origin there is no defined direction and ok is false.
+func (r Rect) BoundaryDistThrough(origin, via Point) (l float64, ok bool) {
+	return r.RayExit(origin, via.Sub(origin))
+}
+
+// Lerp linearly interpolates between a and b; t=0 yields a, t=1 yields b.
+func Lerp(a, b Point, t float64) Point {
+	return Point{X: a.X + (b.X-a.X)*t, Y: a.Y + (b.Y-a.Y)*t}
+}
+
+// PolylineLength returns the total length of the polyline through pts.
+func PolylineLength(pts []Point) float64 {
+	var total float64
+	for i := 1; i < len(pts); i++ {
+		total += pts[i-1].Dist(pts[i])
+	}
+	return total
+}
+
+// PointAlong returns the point reached after traveling dist along the
+// polyline pts from its start. Distances beyond the end clamp to the final
+// vertex; an empty polyline returns the zero point and ok=false.
+func PointAlong(pts []Point, dist float64) (Point, bool) {
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	if dist <= 0 {
+		return pts[0], true
+	}
+	for i := 1; i < len(pts); i++ {
+		seg := pts[i-1].Dist(pts[i])
+		if dist <= seg {
+			if seg == 0 {
+				return pts[i], true
+			}
+			return Lerp(pts[i-1], pts[i], dist/seg), true
+		}
+		dist -= seg
+	}
+	return pts[len(pts)-1], true
+}

@@ -1,0 +1,272 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system is (numerically) singular.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// SolveLSQ solves the linear least-squares problem min ||A x - b||_2 using a
+// Householder QR factorization. A must have at least as many rows as columns
+// and full column rank; otherwise ErrSingular is returned.
+func SolveLSQ(a *Dense, b []float64) ([]float64, error) {
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("mat: SolveLSQ dimension mismatch %dx%d vs %d",
+			a.rows, a.cols, len(b))
+	}
+	if a.rows < a.cols {
+		return nil, fmt.Errorf("mat: SolveLSQ underdetermined %dx%d", a.rows, a.cols)
+	}
+	r := a.Clone()
+	qtb := make([]float64, len(b))
+	copy(qtb, b)
+
+	m, n := r.rows, r.cols
+	for k := 0; k < n; k++ {
+		// Build the Householder reflector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, r.At(i, k))
+		}
+		if norm == 0 {
+			return nil, ErrSingular
+		}
+		if r.At(k, k) > 0 {
+			norm = -norm
+		}
+		// v = x - norm*e1 (stored in place), normalized so v[k] = 1.
+		v := make([]float64, m-k)
+		v[0] = r.At(k, k) - norm
+		for i := k + 1; i < m; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		vk := v[0]
+		if vk == 0 {
+			return nil, ErrSingular
+		}
+		for i := range v {
+			v[i] /= vk
+		}
+		beta := -vk / norm // = 2 / (v^T v) with this normalization
+
+		// Apply the reflector to the remaining columns of R.
+		for j := k; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += v[i-k] * r.At(i, j)
+			}
+			s *= beta
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-s*v[i-k])
+			}
+		}
+		// Apply the reflector to b.
+		var s float64
+		for i := k; i < m; i++ {
+			s += v[i-k] * qtb[i]
+		}
+		s *= beta
+		for i := k; i < m; i++ {
+			qtb[i] -= s * v[i-k]
+		}
+	}
+
+	// Back substitution on the upper-triangular R.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := qtb[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if math.Abs(d) < 1e-13*float64(m) {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveCholesky solves the symmetric positive-definite system A x = b via a
+// Cholesky factorization. It returns ErrSingular when A is not (numerically)
+// positive definite.
+func SolveCholesky(a *Dense, b []float64) ([]float64, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: SolveCholesky requires square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("mat: SolveCholesky dimension mismatch %dx%d vs %d", a.rows, a.cols, len(b))
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, ErrSingular
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	// Forward substitution L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution L^T x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// NNLS solves the non-negative least-squares problem
+//
+//	min ||A x - b||_2  subject to  x >= 0
+//
+// using the Lawson-Hanson active-set algorithm. The flux NLS fit (Eq 4.1 of
+// the paper) is linear in the integrated stretch factors s_j/r once candidate
+// positions are fixed, and those factors are physically non-negative, so NNLS
+// is the inner solver of every position evaluation.
+func NNLS(a *Dense, b []float64) ([]float64, error) {
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("mat: NNLS dimension mismatch %dx%d vs %d",
+			a.rows, a.cols, len(b))
+	}
+	n := a.cols
+	x := make([]float64, n)
+	passive := make([]bool, n) // true when variable is in the passive (free) set
+
+	residual := make([]float64, len(b))
+	copy(residual, b)
+
+	// Gradient w = A^T residual.
+	grad := func() []float64 {
+		w := make([]float64, n)
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < a.rows; i++ {
+				s += a.At(i, j) * residual[i]
+			}
+			w[j] = s
+		}
+		return w
+	}
+
+	const tol = 1e-10
+	maxOuter := 3 * n
+	for outer := 0; outer < maxOuter; outer++ {
+		w := grad()
+		// Pick the most positive gradient among active (clamped) variables.
+		best, bestVal := -1, tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > bestVal {
+				best, bestVal = j, w[j]
+			}
+		}
+		if best < 0 {
+			break // KKT conditions satisfied
+		}
+		passive[best] = true
+
+		// Inner loop: solve the unconstrained LSQ on the passive set and
+		// move x toward it, clamping variables that would go negative.
+		for inner := 0; inner < maxOuter; inner++ {
+			idx := passiveIndices(passive)
+			z, err := solveSubLSQ(a, b, idx)
+			if err != nil {
+				// Degenerate column set: drop the newest variable and stop.
+				passive[best] = false
+				break
+			}
+			if allPositive(z, tol) {
+				for k, j := range idx {
+					x[j] = z[k]
+				}
+				break
+			}
+			// Line search toward z: alpha = min over offending variables.
+			alpha := math.Inf(1)
+			for k, j := range idx {
+				if z[k] <= tol {
+					denom := x[j] - z[k]
+					if denom > 0 {
+						alpha = math.Min(alpha, x[j]/denom)
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for k, j := range idx {
+				x[j] += alpha * (z[k] - x[j])
+				if x[j] <= tol {
+					x[j] = 0
+					passive[j] = false
+				}
+			}
+		}
+
+		// Refresh the residual.
+		ax, err := a.MulVec(x)
+		if err != nil {
+			return nil, err
+		}
+		residual = Sub(b, ax)
+	}
+	return x, nil
+}
+
+func passiveIndices(passive []bool) []int {
+	idx := make([]int, 0, len(passive))
+	for j, p := range passive {
+		if p {
+			idx = append(idx, j)
+		}
+	}
+	return idx
+}
+
+func allPositive(v []float64, tol float64) bool {
+	for _, x := range v {
+		if x <= tol {
+			return false
+		}
+	}
+	return true
+}
+
+// solveSubLSQ solves min ||A[:, idx] z - b|| restricted to the given columns.
+func solveSubLSQ(a *Dense, b []float64, idx []int) ([]float64, error) {
+	if len(idx) == 0 {
+		return nil, errors.New("mat: empty passive set")
+	}
+	sub := NewDense(a.rows, len(idx))
+	for i := 0; i < a.rows; i++ {
+		for k, j := range idx {
+			sub.Set(i, k, a.At(i, j))
+		}
+	}
+	return SolveLSQ(sub, b)
+}

@@ -1,0 +1,110 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+// rosenbrockResiduals expresses the Rosenbrock function as a least-squares
+// problem: r1 = 10(y - x^2), r2 = 1 - x. Minimum at (1, 1).
+func rosenbrockResiduals(x []float64) []float64 {
+	return []float64{10 * (x[1] - x[0]*x[0]), 1 - x[0]}
+}
+
+// expFitResiduals fits y = a*exp(b*t) to synthetic data with a=2, b=-0.5.
+func expFitResiduals(x []float64) []float64 {
+	ts := []float64{0, 0.5, 1, 1.5, 2, 3, 4}
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		want := 2 * math.Exp(-0.5*t)
+		out[i] = x[0]*math.Exp(x[1]*t) - want
+	}
+	return out
+}
+
+func TestLevenbergMarquardtRosenbrock(t *testing.T) {
+	res, err := LevenbergMarquardt(rosenbrockResiduals, []float64{-1.2, 1}, NLSOptions{MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("LM did not converge on Rosenbrock")
+	}
+	if math.Abs(res.X[0]-1) > 1e-5 || math.Abs(res.X[1]-1) > 1e-5 {
+		t.Errorf("LM solution = %v, want [1 1]", res.X)
+	}
+}
+
+func TestLevenbergMarquardtExpFit(t *testing.T) {
+	res, err := LevenbergMarquardt(expFitResiduals, []float64{1, -1}, NLSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-4 || math.Abs(res.X[1]+0.5) > 1e-4 {
+		t.Errorf("LM exp fit = %v, want [2 -0.5]", res.X)
+	}
+	if res.Objective > 1e-10 {
+		t.Errorf("LM exp fit objective = %v, want ~0", res.Objective)
+	}
+}
+
+func TestGaussNewtonExpFit(t *testing.T) {
+	res, err := GaussNewton(expFitResiduals, []float64{1.5, -0.8}, NLSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-4 || math.Abs(res.X[1]+0.5) > 1e-4 {
+		t.Errorf("GN exp fit = %v, want [2 -0.5]", res.X)
+	}
+}
+
+func TestGaussNewtonLinearOneStep(t *testing.T) {
+	// On a purely linear residual GN converges in essentially one iteration.
+	lin := func(x []float64) []float64 {
+		return []float64{x[0] + 2*x[1] - 3, 3*x[0] - x[1] - 2}
+	}
+	res, err := GaussNewton(lin, []float64{10, -10}, NLSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective > 1e-12 {
+		t.Errorf("GN linear objective = %v, want ~0", res.Objective)
+	}
+	if res.Iterations > 4 {
+		t.Errorf("GN linear took %d iterations, want <= 4", res.Iterations)
+	}
+}
+
+func TestNLSObjectiveMonotoneUnderLM(t *testing.T) {
+	// LM accepts only improving steps, so the final objective can never
+	// exceed the initial one.
+	x0 := []float64{5, 5}
+	r0 := rosenbrockResiduals(x0)
+	f0 := 0.5 * Dot(r0, r0)
+	res, err := LevenbergMarquardt(rosenbrockResiduals, x0, NLSOptions{MaxIter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective > f0 {
+		t.Errorf("objective increased: %v > %v", res.Objective, f0)
+	}
+}
+
+func TestNLSOptionsDefaults(t *testing.T) {
+	o := NLSOptions{}.withDefaults()
+	if o.MaxIter != 100 || o.TolGrad != 1e-8 || o.TolStep != 1e-10 || o.FDStep != 1e-6 {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+	custom := NLSOptions{MaxIter: 7}.withDefaults()
+	if custom.MaxIter != 7 {
+		t.Errorf("explicit MaxIter overridden: %+v", custom)
+	}
+}
+
+func BenchmarkLevenbergMarquardt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := LevenbergMarquardt(expFitResiduals, []float64{1, -1}, NLSOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package obslog
+
+import (
+	"strings"
+	"testing"
+
+	"fluxtrack/internal/geom"
+)
+
+func validHeader() Header {
+	return Header{
+		Field:     geom.Square(30),
+		Points:    []geom.Point{geom.Pt(1, 2), geom.Pt(3, 4)},
+		HopLength: 1.8,
+		Comment:   "test recording",
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	w, err := NewWriter(&sb, validHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []Entry{
+		{Time: 1, Readings: []float64{10, 20}},
+		{Time: 2.5, Readings: []float64{11, 19}},
+	}
+	for _, e := range entries {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	h, got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.HopLength != 1.8 || len(h.Points) != 2 || h.Comment != "test recording" {
+		t.Errorf("header mismatch: %+v", h)
+	}
+	if h.Field != geom.Square(30) {
+		t.Errorf("field mismatch: %+v", h.Field)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("got %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i].Time != entries[i].Time {
+			t.Errorf("entry %d time %v, want %v", i, got[i].Time, entries[i].Time)
+		}
+		for j := range entries[i].Readings {
+			if got[i].Readings[j] != entries[i].Readings[j] {
+				t.Errorf("entry %d reading %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestNewWriterValidation(t *testing.T) {
+	var sb strings.Builder
+	if _, err := NewWriter(&sb, Header{HopLength: 1}); err == nil {
+		t.Error("header without points must error")
+	}
+	if _, err := NewWriter(&sb, Header{Points: []geom.Point{{}}}); err == nil {
+		t.Error("header without hop length must error")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	var sb strings.Builder
+	w, err := NewWriter(&sb, validHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Entry{Time: 1, Readings: []float64{1}}); err == nil {
+		t.Error("mismatched reading count must error")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"garbage header", "not json\n"},
+		{"no points", `{"field":{"min":{"x":0,"y":0},"max":{"x":30,"y":30}},"points":[],"hopLength":1}` + "\n"},
+		{"bad hop length", `{"field":{"min":{"x":0,"y":0},"max":{"x":30,"y":30}},"points":[{"x":1,"y":1}],"hopLength":0}` + "\n"},
+		{"reading count mismatch", `{"field":{"min":{"x":0,"y":0},"max":{"x":30,"y":30}},"points":[{"x":1,"y":1}],"hopLength":1}
+{"time":1,"readings":[1,2]}
+`},
+		{"non-increasing time", `{"field":{"min":{"x":0,"y":0},"max":{"x":30,"y":30}},"points":[{"x":1,"y":1}],"hopLength":1}
+{"time":2,"readings":[1]}
+{"time":2,"readings":[1]}
+`},
+		{"truncated entry", `{"field":{"min":{"x":0,"y":0},"max":{"x":30,"y":30}},"points":[{"x":1,"y":1}],"hopLength":1}
+{"time":1,"readi`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := Read(strings.NewReader(tt.input)); err == nil {
+				t.Error("Read accepted invalid input")
+			}
+		})
+	}
+}
+
+func TestReadHeaderOnly(t *testing.T) {
+	var sb strings.Builder
+	w, err := NewWriter(&sb, validHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	h, entries, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 || len(h.Points) != 2 {
+		t.Errorf("header-only recording: %d entries, %d points", len(entries), len(h.Points))
+	}
+}

@@ -1,0 +1,119 @@
+// Package routing builds the data-collection trees the paper assumes
+// (§3.A): when a mobile user initiates a collection, a tree rooted at its
+// sink spans the network and every intermediate node relays the data of its
+// whole subtree. The traffic flux at a node is therefore proportional to its
+// subtree size.
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"fluxtrack/internal/network"
+)
+
+// Tree is a data-collection tree rooted at a sink node.
+type Tree struct {
+	Root   int   // index of the sink node
+	Parent []int // Parent[i] is the tree parent of node i, -1 for root/unreached
+	Hops   []int // Hops[i] is the hop distance from the root, -1 if unreached
+	// SubtreeSize[i] counts the nodes in the subtree rooted at i (including
+	// i itself); 0 for unreached nodes. With unit data generation per node,
+	// the traffic flux relayed through node i is exactly SubtreeSize[i].
+	SubtreeSize []int
+}
+
+// Build constructs a shortest-path collection tree rooted at root over the
+// network. Among the neighbors one hop closer to the root, each node picks
+// the geometrically nearest one as its parent (ties break toward the lower
+// index), mirroring the greedy parent selection of practical collection
+// protocols and keeping the construction deterministic.
+func Build(n *network.Network, root int) (*Tree, error) {
+	if root < 0 || root >= n.Len() {
+		return nil, fmt.Errorf("routing: root %d out of range [0, %d)", root, n.Len())
+	}
+	hops := n.HopsFrom(root)
+	parent := make([]int, n.Len())
+	for i := range parent {
+		parent[i] = -1
+	}
+	for i := 0; i < n.Len(); i++ {
+		if i == root || hops[i] < 0 {
+			continue
+		}
+		best := -1
+		var bestDist float64
+		for _, j := range n.Neighbors(i) {
+			if hops[j] != hops[i]-1 {
+				continue
+			}
+			d := n.Pos(i).Dist(n.Pos(int(j)))
+			if best < 0 || d < bestDist || (d == bestDist && int(j) < best) {
+				best, bestDist = int(j), d
+			}
+		}
+		parent[i] = best
+	}
+	t := &Tree{Root: root, Parent: parent, Hops: hops}
+	t.computeSubtreeSizes()
+	return t, nil
+}
+
+// computeSubtreeSizes accumulates subtree sizes leaf-to-root by processing
+// nodes in decreasing hop order.
+func (t *Tree) computeSubtreeSizes() {
+	n := len(t.Parent)
+	t.SubtreeSize = make([]int, n)
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if t.Hops[i] >= 0 {
+			order = append(order, i)
+			t.SubtreeSize[i] = 1
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return t.Hops[order[a]] > t.Hops[order[b]] })
+	for _, i := range order {
+		if p := t.Parent[i]; p >= 0 {
+			t.SubtreeSize[p] += t.SubtreeSize[i]
+		}
+	}
+}
+
+// Reached returns the number of nodes covered by the tree (including the
+// root itself).
+func (t *Tree) Reached() int {
+	count := 0
+	for _, h := range t.Hops {
+		if h >= 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// PathToRoot returns the node indices from node up to (and including) the
+// root. It returns nil when node is not covered by the tree.
+func (t *Tree) PathToRoot(node int) []int {
+	if node < 0 || node >= len(t.Hops) || t.Hops[node] < 0 {
+		return nil
+	}
+	path := make([]int, 0, t.Hops[node]+1)
+	for v := node; v >= 0; v = t.Parent[v] {
+		path = append(path, v)
+		if v == t.Root {
+			break
+		}
+	}
+	return path
+}
+
+// Flux returns the per-node traffic flux induced by this tree when every
+// covered node generates stretch units of data: flux[i] = stretch *
+// SubtreeSize[i]. Nodes outside the tree carry zero flux.
+func (t *Tree) Flux(stretch float64) []float64 {
+	out := make([]float64, len(t.SubtreeSize))
+	for i, s := range t.SubtreeSize {
+		out[i] = stretch * float64(s)
+	}
+	return out
+}

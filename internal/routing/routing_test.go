@@ -1,0 +1,224 @@
+package routing
+
+import (
+	"testing"
+
+	"fluxtrack/internal/deploy"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/network"
+	"fluxtrack/internal/rng"
+)
+
+func lineNetwork(t *testing.T) *network.Network {
+	t.Helper()
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0), geom.Pt(4, 0),
+	}
+	n, err := network.New(geom.NewRect(geom.Pt(0, 0), geom.Pt(4, 1)), pts, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func paperNetwork(t testing.TB, seed uint64) *network.Network {
+	t.Helper()
+	src := rng.New(seed)
+	pts, err := deploy.Generate(deploy.Config{
+		Field: geom.Square(30), N: 900, Kind: deploy.PerturbedGrid,
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.New(geom.Square(30), pts, 2.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBuildValidation(t *testing.T) {
+	n := lineNetwork(t)
+	if _, err := Build(n, -1); err == nil {
+		t.Error("negative root must error")
+	}
+	if _, err := Build(n, 5); err == nil {
+		t.Error("out-of-range root must error")
+	}
+}
+
+func TestLineTreeStructure(t *testing.T) {
+	n := lineNetwork(t)
+	tr, err := Build(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantParent := []int{-1, 0, 1, 2, 3}
+	wantSize := []int{5, 4, 3, 2, 1}
+	for i := range wantParent {
+		if tr.Parent[i] != wantParent[i] {
+			t.Errorf("Parent[%d] = %d, want %d", i, tr.Parent[i], wantParent[i])
+		}
+		if tr.SubtreeSize[i] != wantSize[i] {
+			t.Errorf("SubtreeSize[%d] = %d, want %d", i, tr.SubtreeSize[i], wantSize[i])
+		}
+	}
+	if tr.Reached() != 5 {
+		t.Errorf("Reached = %d, want 5", tr.Reached())
+	}
+}
+
+func TestLineTreeMiddleRoot(t *testing.T) {
+	n := lineNetwork(t)
+	tr, err := Build(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root subtree covers everything; each arm decays 2, 1.
+	if tr.SubtreeSize[2] != 5 {
+		t.Errorf("root subtree = %d, want 5", tr.SubtreeSize[2])
+	}
+	if tr.SubtreeSize[1] != 2 || tr.SubtreeSize[3] != 2 {
+		t.Errorf("arm subtrees = %d, %d, want 2, 2", tr.SubtreeSize[1], tr.SubtreeSize[3])
+	}
+	if tr.SubtreeSize[0] != 1 || tr.SubtreeSize[4] != 1 {
+		t.Errorf("leaf subtrees = %d, %d, want 1, 1", tr.SubtreeSize[0], tr.SubtreeSize[4])
+	}
+}
+
+func TestTreeInvariants(t *testing.T) {
+	n := paperNetwork(t, 42)
+	tr, err := Build(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invariant 1: root subtree size equals reached count.
+	if tr.SubtreeSize[tr.Root] != tr.Reached() {
+		t.Errorf("root subtree %d != reached %d", tr.SubtreeSize[tr.Root], tr.Reached())
+	}
+	// Invariant 2: every non-root reached node has a parent one hop closer.
+	for i := range tr.Parent {
+		if i == tr.Root || tr.Hops[i] < 0 {
+			continue
+		}
+		p := tr.Parent[i]
+		if p < 0 {
+			t.Fatalf("reached node %d has no parent", i)
+		}
+		if tr.Hops[p] != tr.Hops[i]-1 {
+			t.Fatalf("node %d (hops %d) has parent %d (hops %d)", i, tr.Hops[i], p, tr.Hops[p])
+		}
+	}
+	// Invariant 3: parent subtree is strictly larger than child subtree.
+	for i, p := range tr.Parent {
+		if p >= 0 && tr.SubtreeSize[p] <= tr.SubtreeSize[i] {
+			t.Fatalf("subtree monotonicity violated at %d -> %d", i, p)
+		}
+	}
+	// Invariant 4: sum of subtree sizes at each hop ring equals the number
+	// of nodes at or beyond that ring (conservation of relayed data).
+	maxHop := 0
+	for _, h := range tr.Hops {
+		if h > maxHop {
+			maxHop = h
+		}
+	}
+	for h := 1; h <= maxHop; h++ {
+		ringSum, beyond := 0, 0
+		for i, hi := range tr.Hops {
+			if hi == h {
+				ringSum += tr.SubtreeSize[i]
+			}
+			if hi >= h {
+				beyond++
+			}
+		}
+		if ringSum != beyond {
+			t.Fatalf("hop %d: ring subtree sum %d != nodes beyond %d", h, ringSum, beyond)
+		}
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	n := lineNetwork(t)
+	tr, err := Build(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := tr.PathToRoot(4)
+	want := []int{4, 3, 2, 1, 0}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if got := tr.PathToRoot(-1); got != nil {
+		t.Errorf("PathToRoot(-1) = %v, want nil", got)
+	}
+}
+
+func TestPathToRootUnreached(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(9, 9)}
+	n, err := network.New(geom.Square(10), pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Build(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.PathToRoot(1); got != nil {
+		t.Errorf("PathToRoot(unreached) = %v, want nil", got)
+	}
+	if tr.SubtreeSize[1] != 0 {
+		t.Errorf("unreached SubtreeSize = %d, want 0", tr.SubtreeSize[1])
+	}
+	if tr.Reached() != 1 {
+		t.Errorf("Reached = %d, want 1", tr.Reached())
+	}
+}
+
+func TestFlux(t *testing.T) {
+	n := lineNetwork(t)
+	tr, err := Build(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flux := tr.Flux(2)
+	want := []float64{10, 8, 6, 4, 2}
+	for i := range want {
+		if flux[i] != want[i] {
+			t.Errorf("flux[%d] = %v, want %v", i, flux[i], want[i])
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	n := paperNetwork(t, 7)
+	a, err := Build(n, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(n, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Parent {
+		if a.Parent[i] != b.Parent[i] {
+			t.Fatalf("non-deterministic parent at %d", i)
+		}
+	}
+}
+
+func BenchmarkBuild900(b *testing.B) {
+	n := paperNetwork(b, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(n, i%n.Len()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

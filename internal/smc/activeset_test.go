@@ -1,0 +1,138 @@
+package smc
+
+import (
+	"testing"
+
+	"fluxtrack/internal/geom"
+)
+
+// TestActiveSetManyUsers tracks 8 users of which only 2 collect each round,
+// with the search capped at 4 users per round — the trace-driven regime of
+// §5.C scaled down for test speed.
+func TestActiveSetManyUsers(t *testing.T) {
+	m, pts := testModel(t, 30)
+	tr, err := New(Config{
+		Model: m, SamplePoints: pts, NumUsers: 8,
+		N: 250, M: 8, VMax: 4, ActiveSetLimit: 4,
+	}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two physical users alternate data collections at fixed positions.
+	posA, posB := geom.Pt(8, 10), geom.Pt(22, 20)
+	for step := 1; step <= 6; step++ {
+		var obs []float64
+		if step%2 == 1 {
+			obs = observe(t, m, pts, []geom.Point{posA}, []float64{2})
+		} else {
+			obs = observe(t, m, pts, []geom.Point{posB}, []float64{2})
+		}
+		res, err := tr.Step(float64(step), obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// At most ActiveSetLimit users may report active per round.
+		activeCount := 0
+		for _, est := range res.Estimates {
+			if est.Active {
+				activeCount++
+			}
+		}
+		if activeCount > 4 {
+			t.Fatalf("step %d: %d active users exceed the limit 4", step, activeCount)
+		}
+	}
+	// Some tracker slot must sit near each physical position.
+	nearA, nearB := false, false
+	for j := 0; j < 8; j++ {
+		est := tr.estimate(j, false, 0)
+		if est.Mean.Dist(posA) < 2.5 {
+			nearA = true
+		}
+		if est.Mean.Dist(posB) < 2.5 {
+			nearB = true
+		}
+	}
+	if !nearA || !nearB {
+		t.Errorf("tracker slots missed a physical user: nearA=%v nearB=%v", nearA, nearB)
+	}
+}
+
+// TestActiveSetIdleRoundCheap verifies an all-idle observation still steps
+// without error and keeps every user inactive.
+func TestActiveSetIdleRound(t *testing.T) {
+	m, pts := testModel(t, 32)
+	tr, err := New(Config{
+		Model: m, SamplePoints: pts, NumUsers: 6,
+		N: 200, M: 5, VMax: 4, ActiveSetLimit: 3,
+	}, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: one user collects so some slot initializes.
+	obs := observe(t, m, pts, []geom.Point{geom.Pt(15, 15)}, []float64{2})
+	if _, err := tr.Step(1, obs); err != nil {
+		t.Fatal(err)
+	}
+	// Round 2: silence.
+	zero := make([]float64, len(pts))
+	res, err := tr.Step(2, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, est := range res.Estimates {
+		if est.Active {
+			t.Errorf("user %d active on a silent round", j)
+		}
+	}
+}
+
+// TestHeadingPredictionTracksStraightMover verifies the §4.C refinement
+// stays locked on a constant-velocity user.
+func TestHeadingPredictionTracksStraightMover(t *testing.T) {
+	m, pts := testModel(t, 40)
+	tr, err := New(Config{
+		Model: m, SamplePoints: pts, NumUsers: 1,
+		N: 300, M: 10, VMax: 4, HeadingPrediction: true,
+	}, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr float64
+	for step := 1; step <= 8; step++ {
+		truth := geom.Pt(4+2.5*float64(step), 12)
+		obs := observe(t, m, pts, []geom.Point{truth}, []float64{2})
+		res, err := tr.Step(float64(step), obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastErr = res.Estimates[0].Mean.Dist(truth)
+	}
+	if lastErr > 2.0 {
+		t.Errorf("heading-informed tracking final error %.2f, want <= 2.0", lastErr)
+	}
+}
+
+// TestUniformWeightsAblation checks the UniformWeights switch yields equal
+// weights on every kept sample.
+func TestUniformWeightsAblation(t *testing.T) {
+	m, pts := testModel(t, 34)
+	tr, err := New(Config{
+		Model: m, SamplePoints: pts, NumUsers: 1,
+		N: 200, M: 10, VMax: 5, UniformWeights: true,
+	}, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := observe(t, m, pts, []geom.Point{geom.Pt(12, 12)}, []float64{2})
+	res, err := tr.Step(1, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := res.Estimates[0].Weights
+	for i := 1; i < len(ws); i++ {
+		if ws[i] != ws[0] {
+			t.Fatalf("weights not uniform: %v", ws)
+		}
+	}
+}

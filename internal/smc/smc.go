@@ -1,0 +1,468 @@
+// Package smc implements the Sequential Monte Carlo Estimation of
+// Algorithm 4.1 (§4.B–E): per-user weighted sample sets approximate the
+// posterior position distribution P(p_t | o_1, ..., o_t); each observation
+// round runs prediction (uniform discs of radius v_max·Δt, Eq 4.2),
+// filtering (keep the top-M positions by NLS objective), importance-weight
+// updates (Eq 4.3 with P(o|P(i)) ≈ 1/‖F−F′‖), and asynchronous updating
+// (users whose best-fit stretch collapses to zero are left untouched and
+// their Δt keeps growing).
+package smc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fluxtrack/internal/fit"
+	"fluxtrack/internal/fluxmodel"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/mat"
+	"fluxtrack/internal/rng"
+)
+
+// Config configures a Tracker.
+type Config struct {
+	Model        *fluxmodel.Model
+	SamplePoints []geom.Point // positions of the sniffed nodes (fixed)
+	NumUsers     int          // K: number of mobile users to track
+
+	// N is the number of predicted samples per user per round (paper: 1000).
+	N int
+	// M is the number of kept representatives per user (paper: 10).
+	M int
+	// VMax is the maximum user speed per unit of observation time; the
+	// prediction disc radius is VMax times the per-user elapsed time
+	// (paper: 5 per detection interval).
+	VMax float64
+	// IdleStretchFrac: a user whose fitted stretch factor falls below this
+	// fraction of the round's largest fitted stretch is considered idle
+	// (no data collection this window) and is not updated. Default 0.05.
+	IdleStretchFrac float64
+	// Search tunes the inner candidate-ranking search.
+	Search fit.Options
+	// UseRelativeWeights applies fit.RelativeWeights to each observation.
+	UseRelativeWeights bool
+	// UniformWeights disables the importance weighting of §4.D: kept
+	// samples are treated equally in the next prediction phase (the paper's
+	// pre-importance-sampling variant). Exists for the ablation study.
+	UniformWeights bool
+	// ActiveSetLimit caps how many users join the per-round candidate
+	// search when tracking many users (the trace-driven setting of §5.C,
+	// 20 coexisting users). Zero disables the cap: every round searches
+	// every user jointly. When enabled, the round first fits stretches
+	// with all initialized users pinned at their incumbent positions, then
+	// searches only the users that appear active (stretch above the idle
+	// threshold), filling spare slots with uninitialized users and, when
+	// the incumbent fit explains the observation poorly, the stalest users.
+	ActiveSetLimit int
+	// HeadingPrediction enables the mobility-model refinement the paper
+	// sketches in §4.C: instead of discs centered on the previous samples,
+	// prediction discs are centered on the dead-reckoned position
+	// (previous sample plus the estimated per-user velocity times Δt),
+	// with the disc radius halved — the heading carries the information
+	// the larger blind disc would otherwise have to cover.
+	HeadingPrediction bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 1000
+	}
+	if c.M <= 0 {
+		c.M = 10
+	}
+	if c.VMax <= 0 {
+		c.VMax = 5
+	}
+	if c.IdleStretchFrac <= 0 {
+		c.IdleStretchFrac = 0.05
+	}
+	if c.Search.TopM < c.M {
+		c.Search.TopM = c.M
+	}
+	if c.Search.MaxExhaustive <= 0 {
+		// Tracking evaluates N candidates per user every round; full Nᴷ
+		// enumeration is overkill once the sample sets have concentrated,
+		// so default to the iterated conditional search much earlier than
+		// the localization default.
+		c.Search.MaxExhaustive = 20000
+	}
+	return c
+}
+
+// userState is the weighted sample set <P(i), w(i)> of one user.
+type userState struct {
+	samples     []geom.Point
+	weights     []float64
+	lastUpdate  float64
+	initialized bool
+	// velocity is the estimated displacement per unit time between the two
+	// most recent updates; used only when HeadingPrediction is on.
+	velocity    geom.Vec
+	hasVelocity bool
+	prevMean    geom.Point
+	hasPrevMean bool
+}
+
+// Tracker runs Algorithm 4.1 over a stream of flux observations.
+type Tracker struct {
+	cfg   Config
+	users []userState
+	src   *rng.Source
+	steps int
+}
+
+// Estimate is one user's per-round output.
+type Estimate struct {
+	// Mean is the importance-weighted mean of the kept samples — the
+	// tracker's position estimate.
+	Mean geom.Point
+	// Best is the kept sample with the lowest objective this round.
+	Best geom.Point
+	// Samples and Weights expose the kept representatives (aligned).
+	Samples []geom.Point
+	Weights []float64
+	// Active reports whether this user was updated this round; inactive
+	// users were judged idle by the stretch-collapse test of §4.E.
+	Active bool
+	// Stretch is the fitted integrated stretch factor c = s/r this round.
+	Stretch float64
+}
+
+// StepResult is the tracker output for one observation round.
+type StepResult struct {
+	Time      float64
+	Estimates []Estimate
+	Objective float64 // objective of the best composition this round
+}
+
+// New returns a Tracker. SamplePoints and the model must be consistent;
+// seed fixes all Monte Carlo draws.
+func New(cfg Config, seed uint64) (*Tracker, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Model == nil {
+		return nil, errors.New("smc: nil model")
+	}
+	if len(cfg.SamplePoints) == 0 {
+		return nil, errors.New("smc: no sampling points")
+	}
+	if cfg.NumUsers <= 0 {
+		return nil, fmt.Errorf("smc: NumUsers must be positive, got %d", cfg.NumUsers)
+	}
+	if cfg.M > cfg.N {
+		return nil, fmt.Errorf("smc: M (%d) must not exceed N (%d)", cfg.M, cfg.N)
+	}
+	tr := &Tracker{
+		cfg:   cfg,
+		users: make([]userState, cfg.NumUsers),
+		src:   rng.New(seed),
+	}
+	return tr, nil
+}
+
+// Steps returns how many observation rounds the tracker has consumed.
+func (tr *Tracker) Steps() int { return tr.steps }
+
+// Step consumes the flux observation taken at time t (readings aligned with
+// cfg.SamplePoints) and returns the per-user estimates. Observation times
+// must be strictly increasing.
+func (tr *Tracker) Step(t float64, measured []float64) (StepResult, error) {
+	if len(measured) != len(tr.cfg.SamplePoints) {
+		return StepResult{}, fmt.Errorf("smc: observation length %d, want %d",
+			len(measured), len(tr.cfg.SamplePoints))
+	}
+	var weights []float64
+	if tr.cfg.UseRelativeWeights {
+		weights = fit.RelativeWeights(measured)
+	}
+	prob, err := fit.NewProblemWeighted(tr.cfg.Model, tr.cfg.SamplePoints, measured, weights)
+	if err != nil {
+		return StepResult{}, err
+	}
+
+	subset := make([]int, tr.cfg.NumUsers)
+	for j := range subset {
+		subset[j] = j
+	}
+	if tr.cfg.ActiveSetLimit > 0 && tr.cfg.NumUsers > tr.cfg.ActiveSetLimit {
+		subset, err = tr.selectActive(prob, t)
+		if err != nil {
+			return StepResult{}, err
+		}
+	}
+	return tr.stepSubset(prob, t, subset)
+}
+
+// selectActive picks the users that join this round's candidate search (at
+// most ActiveSetLimit): users whose stretch in the incumbent-position fit is
+// above the idle threshold, then uninitialized users needing bootstrap, then
+// — when the incumbent fit explains the observation poorly — the users with
+// the largest accumulated Δt (most positional uncertainty).
+func (tr *Tracker) selectActive(prob *fit.Problem, t float64) ([]int, error) {
+	limit := tr.cfg.ActiveSetLimit
+
+	var initialized []int
+	var uninitialized []int
+	for j := range tr.users {
+		if tr.users[j].initialized {
+			initialized = append(initialized, j)
+		} else {
+			uninitialized = append(uninitialized, j)
+		}
+	}
+	if len(initialized) == 0 {
+		if len(uninitialized) > limit {
+			uninitialized = uninitialized[:limit]
+		}
+		return uninitialized, nil
+	}
+
+	// Incumbent fit: all initialized users pinned at their current best.
+	positions := make([]geom.Point, len(initialized))
+	for i, j := range initialized {
+		positions[i] = tr.users[j].samples[0]
+	}
+	ev, err := prob.Evaluate(positions)
+	if err != nil {
+		return nil, fmt.Errorf("smc: incumbent fit: %w", err)
+	}
+	var maxStretch float64
+	for _, c := range ev.Stretches {
+		maxStretch = math.Max(maxStretch, c)
+	}
+
+	subset := make([]int, 0, limit)
+	inSubset := make(map[int]bool, limit)
+	add := func(j int) bool {
+		if len(subset) >= limit || inSubset[j] {
+			return false
+		}
+		subset = append(subset, j)
+		inSubset[j] = true
+		return true
+	}
+
+	// 1. Apparently-active users, strongest first.
+	type userStretch struct {
+		user int
+		c    float64
+	}
+	byStretch := make([]userStretch, len(initialized))
+	for i, j := range initialized {
+		byStretch[i] = userStretch{user: j, c: ev.Stretches[i]}
+	}
+	sort.Slice(byStretch, func(a, b int) bool { return byStretch[a].c > byStretch[b].c })
+	for _, us := range byStretch {
+		if maxStretch > 0 && us.c >= tr.cfg.IdleStretchFrac*maxStretch {
+			add(us.user)
+		}
+	}
+	// 2. Uninitialized users needing bootstrap.
+	for _, j := range uninitialized {
+		add(j)
+	}
+	// 3. Poor incumbent fit: stalest users first, since a user that moved
+	// far from its incumbent position leaves unexplained flux behind.
+	obsNorm := mat.Norm2(prob.Measured())
+	if obsNorm > 0 && ev.Objective > 0.3*obsNorm {
+		stale := append([]int(nil), initialized...)
+		sort.Slice(stale, func(a, b int) bool {
+			return tr.users[stale[a]].lastUpdate < tr.users[stale[b]].lastUpdate
+		})
+		for _, j := range stale {
+			add(j)
+		}
+	}
+	if len(subset) == 0 {
+		// Nothing looked active: still search the single strongest user so
+		// idle rounds cost one cheap ranking and the estimates stay fresh.
+		subset = append(subset, byStretch[0].user)
+	}
+	sort.Ints(subset)
+	return subset, nil
+}
+
+// stepSubset runs one Algorithm 4.1 round with only the subset users in the
+// candidate search; the remaining users are treated as idle this round.
+func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int) (StepResult, error) {
+	if len(subset) == 0 {
+		return StepResult{}, errors.New("smc: empty user subset")
+	}
+	// Prediction phase (Eq 4.2): candidate sets of size N per subset user.
+	candidates := make([][]geom.Point, len(subset))
+	origins := make([][]int, len(subset)) // provenance into the kept sets
+	for i, j := range subset {
+		candidates[i], origins[i] = tr.predict(j, t)
+	}
+
+	// Filtering phase: rank compositions by NLS objective.
+	searchOpts := tr.cfg.Search
+	searchOpts.TopM = maxInt(tr.cfg.M, searchOpts.TopM)
+	res, err := fit.SearchCandidates(prob, candidates, searchOpts)
+	if err != nil {
+		return StepResult{}, err
+	}
+	if len(res.Best) == 0 {
+		return StepResult{}, errors.New("smc: search returned no compositions")
+	}
+	best := res.Best[0]
+
+	// Asynchronous updating (§4.E): the largest fitted stretch this round
+	// sets the activity scale.
+	var maxStretch float64
+	for _, c := range best.Stretches {
+		maxStretch = math.Max(maxStretch, c)
+	}
+
+	out := StepResult{Time: t, Objective: best.Objective,
+		Estimates: make([]Estimate, tr.cfg.NumUsers)}
+	inSubset := make(map[int]int, len(subset)) // user -> subset position
+	for i, j := range subset {
+		inSubset[j] = i
+	}
+	for j := range tr.users {
+		i, searched := inSubset[j]
+		if !searched {
+			out.Estimates[j] = tr.estimate(j, false, 0)
+			continue
+		}
+		stretch := best.Stretches[i]
+		active := maxStretch > 0 && stretch >= tr.cfg.IdleStretchFrac*maxStretch
+		if active {
+			tr.update(j, t, res.PerUser[i], origins[i])
+		}
+		out.Estimates[j] = tr.estimate(j, active, stretch)
+	}
+	tr.steps++
+	return out, nil
+}
+
+// predict draws the N candidate positions for user j at time t, per Eq 4.2:
+// uniform in the disc of radius VMax·Δt around an origin sample chosen by
+// importance weight. Uninitialized users draw uniformly over the field.
+func (tr *Tracker) predict(j int, t float64) ([]geom.Point, []int) {
+	u := &tr.users[j]
+	field := tr.cfg.Model.Field()
+	cands := make([]geom.Point, tr.cfg.N)
+	origins := make([]int, tr.cfg.N)
+	if !u.initialized {
+		for i := range cands {
+			cands[i] = tr.src.InRect(field)
+			origins[i] = -1
+		}
+		return cands, origins
+	}
+	dt := math.Max(t-u.lastUpdate, 0)
+	radius := tr.cfg.VMax * dt
+	var drift geom.Vec
+	if tr.cfg.HeadingPrediction && u.hasVelocity {
+		// Dead-reckon by the estimated velocity and shrink the disc: the
+		// heading supplies the direction the blind model had to cover.
+		drift = u.velocity.Scale(dt)
+		// Never reckon further than the speed bound allows.
+		if n := drift.Norm(); n > radius {
+			drift = drift.Scale(radius / math.Max(n, 1e-12))
+		}
+		radius /= 2
+	}
+	for i := range cands {
+		o := tr.src.Weighted(u.weights)
+		if o < 0 {
+			o = tr.src.IntN(len(u.samples))
+		}
+		center := u.samples[o].Add(drift)
+		cands[i] = tr.src.InDiscClamped(field.Clamp(center), radius, field)
+		origins[i] = o
+	}
+	return cands, origins
+}
+
+// update replaces user j's kept set with the top-M ranked positions and
+// refreshes the importance weights per Eq 4.3:
+// w_t(i) ∝ w_{t−1}(origin(i)) · P(o_t | P(i)) with P(o|P(i)) ≈ 1/objective.
+func (tr *Tracker) update(j int, t float64, ranked []fit.RankedPosition, origins []int) {
+	u := &tr.users[j]
+	m := minInt(tr.cfg.M, len(ranked))
+	newSamples := make([]geom.Point, m)
+	newWeights := make([]float64, m)
+	var total float64
+	for i := 0; i < m; i++ {
+		r := ranked[i]
+		newSamples[i] = r.Pos
+		w := 1.0
+		if !tr.cfg.UniformWeights {
+			prior := 1.0
+			if u.initialized && origins[r.Index] >= 0 {
+				prior = u.weights[origins[r.Index]]
+			}
+			w = prior / math.Max(r.Objective, 1e-12)
+		}
+		newWeights[i] = w
+		total += w
+	}
+	if total <= 0 {
+		for i := range newWeights {
+			newWeights[i] = 1 / float64(m)
+		}
+	} else {
+		for i := range newWeights {
+			newWeights[i] /= total
+		}
+	}
+	dt := t - u.lastUpdate
+	u.samples = newSamples
+	u.weights = newWeights
+	u.lastUpdate = t
+	u.initialized = true
+
+	// Maintain the velocity estimate for heading-informed prediction.
+	var mx, my float64
+	for i, s := range newSamples {
+		mx += newWeights[i] * s.X
+		my += newWeights[i] * s.Y
+	}
+	mean := geom.Pt(mx, my)
+	if u.hasPrevMean && dt > 0 {
+		u.velocity = mean.Sub(u.prevMean).Scale(1 / dt)
+		u.hasVelocity = true
+	}
+	u.prevMean = mean
+	u.hasPrevMean = true
+}
+
+// estimate summarizes user j's current sample set.
+func (tr *Tracker) estimate(j int, active bool, stretch float64) Estimate {
+	u := &tr.users[j]
+	est := Estimate{Active: active, Stretch: stretch}
+	if !u.initialized {
+		// Never updated: report the field center with zero confidence.
+		est.Mean = tr.cfg.Model.Field().Center()
+		est.Best = est.Mean
+		return est
+	}
+	est.Samples = append([]geom.Point(nil), u.samples...)
+	est.Weights = append([]float64(nil), u.weights...)
+	var x, y float64
+	for i, s := range u.samples {
+		x += u.weights[i] * s.X
+		y += u.weights[i] * s.Y
+	}
+	est.Mean = geom.Pt(x, y)
+	est.Best = u.samples[0] // ranked ascending by objective at update time
+	return est
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

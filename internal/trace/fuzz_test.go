@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures the trace parser never panics and that everything it
+// accepts survives a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("100.5\tuserA\tAP001\n")
+	f.Add("# comment\n\n1 u a\n")
+	f.Add("")
+	f.Add("nonsense line without tabs")
+	f.Add("1e300\tu\ta\n-5\tv\tb\n")
+	f.Add("NaN\tu\ta\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Round trip: whatever parsed must re-serialize and re-parse to the
+		// same records, provided the fields contain no whitespace (Write's
+		// format is whitespace-delimited).
+		clean := true
+		for _, r := range recs {
+			if strings.ContainsAny(r.User, " \t\n") || strings.ContainsAny(r.AP, " \t\n") ||
+				r.User == "" || r.AP == "" {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			return
+		}
+		var sb strings.Builder
+		if err := Write(&sb, recs); err != nil {
+			t.Fatalf("Write failed on parsed records: %v", err)
+		}
+		again, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v (serialized: %q)", err, sb.String())
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if recs[i].User != again[i].User || recs[i].AP != again[i].AP {
+				t.Fatalf("round trip changed record %d: %+v -> %+v", i, recs[i], again[i])
+			}
+		}
+	})
+}

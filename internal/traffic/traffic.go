@@ -1,0 +1,174 @@
+// Package traffic simulates the network flux observed by the adversary.
+//
+// Per §3.A of the paper: K mobile users move inside the field; each data
+// collection builds a tree rooted at the user's sink; traffic flows of
+// different users add up at intermediate nodes; the adversary measures the
+// cumulated per-node flux F = sum_i F_i within each observation window, with
+// no way to separate the per-user shares.
+package traffic
+
+import (
+	"fmt"
+
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/network"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/routing"
+)
+
+// User is a mobile user (mobile sink) collecting data from the network.
+type User struct {
+	Pos     geom.Point // current position in the field
+	Stretch float64    // traffic stretch s: units of data collected per node
+	Active  bool       // whether the user collects data this window
+}
+
+// Simulator computes ground-truth per-node flux for sets of users over a
+// fixed network. It caches collection trees by sink node, since users that
+// attach to the same nearest node induce identical tree shapes.
+type Simulator struct {
+	net       *network.Network
+	treeCache map[int]*routing.Tree
+}
+
+// NewSimulator returns a Simulator over the given network.
+func NewSimulator(net *network.Network) *Simulator {
+	return &Simulator{net: net, treeCache: make(map[int]*routing.Tree)}
+}
+
+// Network returns the underlying network.
+func (s *Simulator) Network() *network.Network { return s.net }
+
+// tree returns the (cached) collection tree rooted at the given sink node.
+func (s *Simulator) tree(sink int) (*routing.Tree, error) {
+	if t, ok := s.treeCache[sink]; ok {
+		return t, nil
+	}
+	t, err := routing.Build(s.net, sink)
+	if err != nil {
+		return nil, err
+	}
+	s.treeCache[sink] = t
+	return t, nil
+}
+
+// Flux returns the cumulated per-node flux induced by the users. Inactive
+// users and users with non-positive stretch contribute nothing, mirroring a
+// collection window in which they issue no request.
+func (s *Simulator) Flux(users []User) ([]float64, error) {
+	total := make([]float64, s.net.Len())
+	for i, u := range users {
+		if !u.Active || u.Stretch <= 0 {
+			continue
+		}
+		if !s.net.Field().Contains(u.Pos) {
+			return nil, fmt.Errorf("traffic: user %d at %v is outside the field", i, u.Pos)
+		}
+		t, err := s.tree(s.net.Nearest(u.Pos))
+		if err != nil {
+			return nil, err
+		}
+		for j, size := range t.SubtreeSize {
+			total[j] += u.Stretch * float64(size)
+		}
+	}
+	return total, nil
+}
+
+// Measurement is what the adversary actually sniffs: flux readings at a
+// sparse subset of node indices.
+type Measurement struct {
+	Nodes []int     // indices of the sniffed nodes
+	Flux  []float64 // flux reading at each sniffed node, aligned with Nodes
+}
+
+// Sample extracts the readings at the given node indices from a full flux
+// vector.
+func Sample(flux []float64, nodes []int) (Measurement, error) {
+	m := Measurement{Nodes: append([]int(nil), nodes...), Flux: make([]float64, len(nodes))}
+	for k, i := range nodes {
+		if i < 0 || i >= len(flux) {
+			return Measurement{}, fmt.Errorf("traffic: sample index %d out of range [0, %d)", i, len(flux))
+		}
+		m.Flux[k] = flux[i]
+	}
+	return m, nil
+}
+
+// AddNoise perturbs each reading with multiplicative noise
+// (1 + sigma*N(0,1)), clamped at zero, modeling imperfect sniffing windows.
+// A sigma of zero leaves the measurement unchanged.
+func (m Measurement) AddNoise(sigma float64, src *rng.Source) Measurement {
+	out := Measurement{Nodes: append([]int(nil), m.Nodes...), Flux: make([]float64, len(m.Flux))}
+	for i, f := range m.Flux {
+		v := f
+		if sigma > 0 {
+			v *= 1 + sigma*src.Norm()
+			if v < 0 {
+				v = 0
+			}
+		}
+		out.Flux[i] = v
+	}
+	return out
+}
+
+// PickSamplingNodes selects k distinct sniffing positions uniformly at
+// random among all nodes, as in the paper's sparse-sampling evaluation
+// ("we randomly select the percentage of sensor nodes from the network").
+func PickSamplingNodes(net *network.Network, k int, src *rng.Source) ([]int, error) {
+	if k <= 0 || k > net.Len() {
+		return nil, fmt.Errorf("traffic: sampling count %d out of range (0, %d]", k, net.Len())
+	}
+	return src.SampleK(net.Len(), k), nil
+}
+
+// Reshape is a traffic-reshaping countermeasure (§6 future work): every node
+// injects dummy flux drawn uniformly in [0, amplitude], flattening the flux
+// fingerprint the adversary relies on. It returns a new flux vector.
+func Reshape(flux []float64, amplitude float64, src *rng.Source) []float64 {
+	out := make([]float64, len(flux))
+	for i, f := range flux {
+		out[i] = f + src.Uniform(0, amplitude)
+	}
+	return out
+}
+
+// PeakNode returns the index of the node carrying the maximum flux and that
+// flux value. It is the primitive of the briefing baseline (§3.C): with a
+// single user, the flux peak sits at the user's sink.
+func PeakNode(flux []float64) (idx int, peak float64) {
+	idx = -1
+	for i, f := range flux {
+		if idx < 0 || f > peak {
+			idx, peak = i, f
+		}
+	}
+	return idx, peak
+}
+
+// TotalEnergy returns the sum of squared flux values. The paper reports the
+// fraction of "flux energy" preserved by node subsets; briefing progress is
+// measured the same way.
+func TotalEnergy(flux []float64) float64 {
+	var s float64
+	for _, f := range flux {
+		s += f * f
+	}
+	return s
+}
+
+// RandomUsers places k active users uniformly in the field with stretches
+// drawn uniformly from [stretchLo, stretchHi], the workload of §5.A
+// ("traffic stretch of each user is randomly selected from 1 to 3").
+func RandomUsers(field geom.Rect, k int, stretchLo, stretchHi float64, src *rng.Source) []User {
+	users := make([]User, k)
+	for i := range users {
+		users[i] = User{
+			Pos:     src.InRect(field),
+			Stretch: src.Uniform(stretchLo, stretchHi),
+			Active:  true,
+		}
+	}
+	return users
+}
