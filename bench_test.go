@@ -12,12 +12,22 @@ import (
 // full-effort tables.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	benchExperimentWorkers(b, id, 0) // 0 = one worker per CPU
+}
+
+// benchExperimentWorkers is benchExperiment with an explicit trial worker
+// count; the Sequential/Parallel benchmark pairs below use it to measure
+// the speedup of the trial pool (identical tables either way — the golden
+// tests in internal/exp enforce that).
+func benchExperimentWorkers(b *testing.B, id string, workers int) {
+	b.Helper()
 	e, err := exp.ByID(id)
 	if err != nil {
 		b.Fatal(err)
 	}
 	cfg := exp.QuickConfig()
 	cfg.Trials = 1
+	cfg.Workers = workers
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)
@@ -92,3 +102,20 @@ func BenchmarkAblationPacketLevel(b *testing.B) { benchExperiment(b, "ablation-p
 
 // BenchmarkAggregationDefense evaluates TAG aggregation as a defense (A9).
 func BenchmarkAggregationDefense(b *testing.B) { benchExperiment(b, "aggregation") }
+
+// The Sequential/Parallel pairs below measure the trial pool directly:
+// Sequential pins Workers=1 (the legacy path), Parallel uses one worker
+// per CPU. On a multi-core machine the Parallel variants should approach
+// a GOMAXPROCS-fold speedup; on one core they coincide.
+
+// BenchmarkFig5Sequential runs instant localization with Workers=1.
+func BenchmarkFig5Sequential(b *testing.B) { benchExperimentWorkers(b, "fig5", 1) }
+
+// BenchmarkFig5Parallel runs instant localization with one worker per CPU.
+func BenchmarkFig5Parallel(b *testing.B) { benchExperimentWorkers(b, "fig5", 0) }
+
+// BenchmarkFig7Sequential runs the tracking cases with Workers=1.
+func BenchmarkFig7Sequential(b *testing.B) { benchExperimentWorkers(b, "fig7", 1) }
+
+// BenchmarkFig7Parallel runs the tracking cases with one worker per CPU.
+func BenchmarkFig7Parallel(b *testing.B) { benchExperimentWorkers(b, "fig7", 0) }

@@ -9,12 +9,18 @@
 //	fluxbench -exp fig6a      # run one experiment
 //	fluxbench -list           # list experiment ids
 //	fluxbench -trials 5       # override the trial count
+//	fluxbench -workers 4      # bound the trial-level parallelism
+//	fluxbench -json out.json  # also write a machine-readable benchmark report
+//
+// Tables are byte-identical for every -workers value (see internal/exp).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -22,6 +28,29 @@ import (
 	"fluxtrack/internal/exp"
 	"fluxtrack/internal/plot"
 )
+
+// benchReport is the schema written by -json: enough configuration to
+// reproduce the run plus per-experiment wall time and the rendered rows.
+type benchReport struct {
+	Config       string            `json:"config"` // "default" or "quick"
+	Seed         uint64            `json:"seed"`
+	Trials       int               `json:"trials"`
+	Samples      int               `json:"samples"`
+	TrackN       int               `json:"track_n"`
+	Rounds       int               `json:"rounds"`
+	Workers      int               `json:"workers"` // 0 = GOMAXPROCS
+	GOMAXPROCS   int               `json:"gomaxprocs"`
+	GoVersion    string            `json:"go_version"`
+	Experiments  []benchExperiment `json:"experiments"`
+	TotalSeconds float64           `json:"total_seconds"`
+}
+
+type benchExperiment struct {
+	ID      string     `json:"id"`
+	Seconds float64    `json:"seconds"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -41,6 +70,8 @@ func run(args []string) error {
 		samples = fs.Int("samples", 0, "override the localization candidate count")
 		trackN  = fs.Int("trackn", 0, "override the SMC prediction sample count")
 		rounds  = fs.Int("rounds", 0, "override the tracking round count")
+		workers = fs.Int("workers", 0, "trial worker count (0 = one per CPU, 1 = sequential)")
+		jsonOut = fs.String("json", "", "write a JSON benchmark report to this file")
 		chart   = fs.Bool("chart", false, "render an ASCII bar chart per table column")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +104,9 @@ func run(args []string) error {
 	if *rounds > 0 {
 		cfg.Rounds = *rounds
 	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
 
 	experiments := exp.All()
 	if *expID != "" {
@@ -83,17 +117,49 @@ func run(args []string) error {
 		experiments = []exp.Experiment{e}
 	}
 
+	report := benchReport{
+		Config:     "default",
+		Seed:       cfg.Seed,
+		Trials:     cfg.Trials,
+		Samples:    cfg.Samples,
+		TrackN:     cfg.TrackN,
+		Rounds:     cfg.Rounds,
+		Workers:    cfg.Workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	if *quick {
+		report.Config = "quick"
+	}
+
+	allStart := time.Now()
 	for _, e := range experiments {
 		start := time.Now()
 		table, err := e.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		secs := time.Since(start).Seconds()
 		fmt.Print(table.Render())
 		if *chart {
 			fmt.Print(renderCharts(table))
 		}
-		fmt.Printf("   (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Printf("   (%s in %.1fs)\n\n", e.ID, secs)
+		report.Experiments = append(report.Experiments, benchExperiment{
+			ID: e.ID, Seconds: secs, Columns: table.Columns, Rows: table.Rows,
+		})
+	}
+	report.TotalSeconds = time.Since(allStart).Seconds()
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote benchmark report to %s\n", *jsonOut)
 	}
 	return nil
 }

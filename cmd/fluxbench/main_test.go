@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -64,5 +67,39 @@ func TestRunSingleQuickExperiment(t *testing.T) {
 	}
 	if err := run([]string{"-quick", "-trials", "1", "-exp", "ablation-search"}); err != nil {
 		t.Fatalf("quick single experiment failed: %v", err)
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{
+		"-quick", "-trials", "1", "-workers", "2",
+		"-exp", "ablation-smoothing", "-json", out,
+	}); err != nil {
+		t.Fatalf("json report run failed: %v", err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if report.Config != "quick" || report.Trials != 1 || report.Workers != 2 {
+		t.Errorf("report config fields wrong: %+v", report)
+	}
+	if len(report.Experiments) != 1 || report.Experiments[0].ID != "ablation-smoothing" {
+		t.Fatalf("report experiments wrong: %+v", report.Experiments)
+	}
+	e := report.Experiments[0]
+	if len(e.Rows) == 0 || len(e.Columns) == 0 || e.Seconds < 0 {
+		t.Errorf("experiment entry incomplete: %+v", e)
+	}
+	if report.TotalSeconds < e.Seconds {
+		t.Errorf("total %v < experiment time %v", report.TotalSeconds, e.Seconds)
 	}
 }

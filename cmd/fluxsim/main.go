@@ -6,6 +6,7 @@
 //
 //	fluxsim -users 3 -pct 10 -seed 7
 //	fluxsim -users 2 -deploy random -noise 0.1
+//	fluxsim -users 3 -workers 4   # parallel candidate scoring, same output
 package main
 
 import (
@@ -39,6 +40,7 @@ func run(args []string) error {
 		noise   = fs.Float64("noise", 0, "multiplicative measurement noise sigma")
 		seed    = fs.Uint64("seed", 1, "random seed")
 		samples = fs.Int("samples", 2000, "candidate positions per user")
+		workers = fs.Int("workers", 1, "NLS search worker count (0 = one per CPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,7 +81,7 @@ func run(args []string) error {
 	if _, err := sniffer.Observe(userSet, *noise, src); err != nil {
 		return err
 	}
-	res, err := sniffer.Localize(*users, fit.Options{Samples: *samples, TopM: 10}, src)
+	res, err := sniffer.Localize(*users, fit.Options{Samples: *samples, TopM: 10, Workers: *workers}, src)
 	if err != nil {
 		return err
 	}

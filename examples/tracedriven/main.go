@@ -13,6 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"fluxtrack/internal/core"
 	"fluxtrack/internal/geom"
@@ -54,9 +55,15 @@ func run() error {
 	records = trace.Window(records, 1000, 1000+windowLen)
 
 	field := geom.Square(30)
+	byUser := trace.Paths(records, landmarks)
+	users20 := make([]string, 0, len(byUser))
+	for user := range byUser {
+		users20 = append(users20, user)
+	}
+	sort.Strings(users20) // map order is randomized; keep runs reproducible
 	paths := make([]trace.TimedPath, 0, 20)
-	for _, tp := range trace.Paths(records, landmarks) {
-		paths = append(paths, tp.MapRect(region, field))
+	for _, user := range users20 {
+		paths = append(paths, byUser[user].MapRect(region, field))
 	}
 	fmt.Printf("trace window: %d records, %d users with activity\n", len(records), len(paths))
 

@@ -34,26 +34,29 @@ func BaselineEKF(cfg Config) (Table, error) {
 	}
 	var smcCell, ekfBlind, ekfOracle, cnlsBlind, cnlsOracle cell
 
-	for trial := 0; trial < cfg.Trials; trial++ {
-		seed := cfg.trialSeed("ablA6", 0, trial)
+	// One trial's final-round error per tracker variant.
+	type trialErrs struct {
+		smc, ekfB, ekfO, cnlsB, cnlsO float64
+	}
+	trials, err := runTrials(cfg, "ablA6", 0, cfg.Trials, func(trial int, seed uint64) (trialErrs, error) {
 		sc := mustScenario(defaultScenarioCfg(), seed)
 		src := rng.New(seed + 17)
 		walk, err := mobility.NewRandomWalk(sc.Field(), src.InRect(sc.Field()), 3, cfg.Rounds+1, src)
 		if err != nil {
-			return Table{}, err
+			return trialErrs{}, err
 		}
 		sniffer, err := sc.NewSnifferCount(90, src)
 		if err != nil {
-			return Table{}, err
+			return trialErrs{}, err
 		}
 		stretch := src.Uniform(1, 3)
 
 		// SMC tracker (blind initialization, as always).
 		tracker, err := sniffer.NewTracker(1, core.TrackerConfig{
-			N: cfg.TrackN, M: cfg.TrackM, VMax: 5,
+			N: cfg.TrackN, M: cfg.TrackM, VMax: 5, Search: cfg.trackerSearch(),
 		}, seed+1)
 		if err != nil {
-			return Table{}, err
+			return trialErrs{}, err
 		}
 		// EKF blind (field-center initialization) and EKF oracle (started
 		// at the walk's true origin — the only regime where it is fair).
@@ -61,23 +64,23 @@ func BaselineEKF(cfg Config) (Table, error) {
 			Model: sc.Model(), SamplePoints: sniffer.Points(),
 		})
 		if err != nil {
-			return Table{}, err
+			return trialErrs{}, err
 		}
 		oracle, err := ekf.New(ekf.Config{
 			Model: sc.Model(), SamplePoints: sniffer.Points(),
 			InitPos: walk.At(0), InitUncertainty: 2,
 		})
 		if err != nil {
-			return Table{}, err
+			return trialErrs{}, err
 		}
 		// CNLS, blind and seeded at the true origin.
 		cnlsB, err := fit.NewCNLSTracker(sc.Model(), sniffer.Points(), 5, 5)
 		if err != nil {
-			return Table{}, err
+			return trialErrs{}, err
 		}
 		cnlsO, err := fit.NewCNLSTracker(sc.Model(), sniffer.Points(), 5, 5)
 		if err != nil {
-			return Table{}, err
+			return trialErrs{}, err
 		}
 		cnlsO.Seed(walk.At(0), 0)
 
@@ -89,45 +92,51 @@ func BaselineEKF(cfg Config) (Table, error) {
 				{Pos: truth, Stretch: stretch, Active: true},
 			}, 0, src)
 			if err != nil {
-				return Table{}, err
+				return trialErrs{}, err
 			}
 			res, err := tracker.Step(tm, obs)
 			if err != nil {
-				return Table{}, err
+				return trialErrs{}, err
 			}
 			smcErr = res.Estimates[0].Mean.Dist(truth)
 			bp, err := blind.Step(1, obs)
 			if err != nil {
-				return Table{}, err
+				return trialErrs{}, err
 			}
 			blindErr = bp.Dist(truth)
 			op, err := oracle.Step(1, obs)
 			if err != nil {
-				return Table{}, err
+				return trialErrs{}, err
 			}
 			oracleErr = op.Dist(truth)
 			cb, err := cnlsB.Step(tm, obs, src)
 			if err != nil {
-				return Table{}, err
+				return trialErrs{}, err
 			}
 			cnlsBErr = cb.Dist(truth)
 			co, err := cnlsO.Step(tm, obs, src)
 			if err != nil {
-				return Table{}, err
+				return trialErrs{}, err
 			}
 			cnlsOErr = co.Dist(truth)
 		}
-		record := func(c *cell, e float64) {
-			c.errs = append(c.errs, e)
-			if e > 5 {
-				c.lost++
-			}
+		return trialErrs{smc: smcErr, ekfB: blindErr, ekfO: oracleErr, cnlsB: cnlsBErr, cnlsO: cnlsOErr}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	record := func(c *cell, e float64) {
+		c.errs = append(c.errs, e)
+		if e > 5 {
+			c.lost++
 		}
-		record(&smcCell, smcErr)
-		record(&ekfBlind, blindErr)
-		record(&ekfOracle, oracleErr)
-		record(&cnlsBlind, cnlsBErr)
-		record(&cnlsOracle, cnlsOErr)
+	}
+	for _, tr := range trials {
+		record(&smcCell, tr.smc)
+		record(&ekfBlind, tr.ekfB)
+		record(&ekfOracle, tr.ekfO)
+		record(&cnlsBlind, tr.cnlsB)
+		record(&cnlsOracle, tr.cnlsO)
 	}
 
 	addRow := func(name string, c cell) {
@@ -158,54 +167,60 @@ func AblationHeading(cfg Config) (Table, error) {
 		Paper:   "§4.C: the mobility model can be refined given the user's heading",
 		Columns: []string{"prediction", "final_err_mean", "mean_err_all_rounds"},
 	}
-	for _, heading := range []bool{false, true} {
+	// One trial's final-round error plus its per-round errors in order.
+	type headingTrial struct {
+		final  float64
+		rounds []float64
+	}
+	cells := []int{boolCell(false), boolCell(true)}
+	res, err := runCells(cfg, "ablA7", cells, func(ci, trial int, seed uint64) (headingTrial, error) {
+		heading := cells[ci] == 1
+		sc := mustScenario(defaultScenarioCfg(), seed)
+		src := rng.New(seed + 17)
+		sniffer, err := sc.NewSnifferCount(90, src)
+		if err != nil {
+			return headingTrial{}, err
+		}
+		tracker, err := sniffer.NewTracker(1, core.TrackerConfig{
+			N: cfg.TrackN, M: cfg.TrackM, VMax: 5, HeadingPrediction: heading,
+			Search: cfg.trackerSearch(),
+		}, seed+1)
+		if err != nil {
+			return headingTrial{}, err
+		}
+		traj := mobility.Linear{Start: src.InRect(sc.Field()),
+			V: randomHeading(src, 2.5)}
+		stretch := src.Uniform(1, 3)
+		out := headingTrial{rounds: make([]float64, 0, cfg.Rounds)}
+		for round := 1; round <= cfg.Rounds; round++ {
+			tm := float64(round)
+			truth := sc.Field().Clamp(traj.At(tm))
+			obs, err := sniffer.Observe([]traffic.User{
+				{Pos: truth, Stretch: stretch, Active: true},
+			}, 0, src)
+			if err != nil {
+				return headingTrial{}, err
+			}
+			r, err := tracker.Step(tm, obs)
+			if err != nil {
+				return headingTrial{}, err
+			}
+			out.final = r.Estimates[0].Mean.Dist(truth)
+			out.rounds = append(out.rounds, out.final)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for ci := range cells {
 		var finals, all []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.trialSeed("ablA7", boolCell(heading), trial)
-			sc := mustScenario(defaultScenarioCfg(), seed)
-			src := rng.New(seed + 17)
-			sniffer, err := sc.NewSnifferCount(90, src)
-			if err != nil {
-				return Table{}, err
-			}
-			tracker, err := sniffer.NewTracker(1, core.TrackerConfig{
-				N: cfg.TrackN, M: cfg.TrackM, VMax: 5,
-			}, seed+1)
-			if err != nil {
-				return Table{}, err
-			}
-			if heading {
-				tracker, err = sniffer.NewTracker(1, core.TrackerConfig{
-					N: cfg.TrackN, M: cfg.TrackM, VMax: 5, HeadingPrediction: true,
-				}, seed+1)
-				if err != nil {
-					return Table{}, err
-				}
-			}
-			traj := mobility.Linear{Start: src.InRect(sc.Field()),
-				V: randomHeading(src, 2.5)}
-			stretch := src.Uniform(1, 3)
-			var last float64
-			for round := 1; round <= cfg.Rounds; round++ {
-				tm := float64(round)
-				truth := sc.Field().Clamp(traj.At(tm))
-				obs, err := sniffer.Observe([]traffic.User{
-					{Pos: truth, Stretch: stretch, Active: true},
-				}, 0, src)
-				if err != nil {
-					return Table{}, err
-				}
-				res, err := tracker.Step(tm, obs)
-				if err != nil {
-					return Table{}, err
-				}
-				last = res.Estimates[0].Mean.Dist(truth)
-				all = append(all, last)
-			}
-			finals = append(finals, last)
+		for _, tr := range res[ci] {
+			finals = append(finals, tr.final)
+			all = append(all, tr.rounds...)
 		}
 		label := "blind disc"
-		if heading {
+		if cells[ci] == 1 {
 			label = "heading"
 		}
 		t.Rows = append(t.Rows, []string{label, f2(stats.Mean(finals)), f2(stats.Mean(all))})

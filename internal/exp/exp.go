@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"fluxtrack/internal/core"
+	"fluxtrack/internal/fit"
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/rng"
 	"fluxtrack/internal/traffic"
@@ -68,6 +69,11 @@ type Config struct {
 	TrackN  int    // SMC prediction samples per user per round
 	TrackM  int    // SMC kept representatives
 	Rounds  int    // tracking rounds per trial
+	// Workers bounds the goroutines running (cell, trial) units and the
+	// inner candidate-scoring loops of the NLS search. 0 means one worker
+	// per CPU (GOMAXPROCS); 1 forces the exact sequential legacy path. Every
+	// value produces byte-identical tables — see parallel.go.
+	Workers int
 }
 
 // DefaultConfig returns the paper-faithful settings (§5): 10,000 samples
@@ -100,6 +106,19 @@ func (c Config) withDefaults() Config {
 		c.Rounds = d.Rounds
 	}
 	return c
+}
+
+// searchOpts builds the fit options used by the localization call sites,
+// carrying the Workers knob into the inner candidate-scoring loops (the
+// hottest loop of instant localization at the paper's Samples=10000).
+func (c Config) searchOpts(samples int, seed uint64) fit.Options {
+	return fit.Options{Samples: samples, TopM: 10, Seed: seed, Workers: c.Workers}
+}
+
+// trackerSearch builds the inner-search options for the SMC tracker,
+// bounded by the same Workers knob as the trial pool.
+func (c Config) trackerSearch() fit.Options {
+	return fit.Options{Workers: c.Workers}
 }
 
 // trialSeed derives a deterministic seed for one (experiment, cell, trial)

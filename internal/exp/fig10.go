@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 
 	"fluxtrack/internal/core"
 	"fluxtrack/internal/deploy"
@@ -54,9 +55,17 @@ func buildTraceRun(cfg Config, seed uint64) (traceRun, error) {
 	records = trace.Window(records, 1000, 1000+float64(rounds))
 
 	paths := trace.Paths(records, landmarks)
+	// Iterate users in sorted order: map iteration order is randomized per
+	// run, and the stretch draws below consume src sequentially, so an
+	// unsorted walk would pair users with different stretches on every run.
+	users := make([]string, 0, len(paths))
+	for user := range paths {
+		users = append(users, user)
+	}
+	sort.Strings(users)
 	run := traceRun{rounds: rounds}
-	for _, tp := range paths {
-		run.paths = append(run.paths, tp.MapRect(region, geom.Square(30)))
+	for _, user := range users {
+		run.paths = append(run.paths, paths[user].MapRect(region, geom.Square(30)))
 		run.stretches = append(run.stretches, src.Uniform(1, 3))
 	}
 	if len(run.paths) == 0 {
@@ -98,6 +107,7 @@ func traceTrial(cfg Config, kind deploy.Kind, sampleFrac float64, vmax float64, 
 	}
 	tracker, err := sniffer.NewTracker(len(run.paths), core.TrackerConfig{
 		N: cfg.TrackN, M: cfg.TrackM, VMax: vmax, ActiveSetLimit: 4,
+		Search: cfg.trackerSearch(),
 	}, seed+3)
 	if err != nil {
 		return 0, err
@@ -163,19 +173,30 @@ func Fig10a(cfg Config) (Table, error) {
 		Paper:   "error below 3 at 10%+ reports with perturbed grids; random deployment ~1.5x worse",
 		Columns: []string{"pct", "perturbed-grid", "random"},
 	}
-	for _, pct := range []int{40, 20, 10, 5} {
+	pcts := []int{40, 20, 10, 5}
+	kinds := []deploy.Kind{deploy.PerturbedGrid, deploy.UniformRandom}
+	type spec struct {
+		pct  int
+		kind deploy.Kind
+	}
+	var cells []int
+	var specs []spec
+	for _, pct := range pcts {
+		for _, kind := range kinds {
+			cells = append(cells, pct*10+int(kind))
+			specs = append(specs, spec{pct, kind})
+		}
+	}
+	res, err := runCells(cfg, "fig10a", cells, func(ci, trial int, seed uint64) (float64, error) {
+		return traceTrial(cfg, specs[ci].kind, float64(specs[ci].pct)/100, 5, seed)
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for pi, pct := range pcts {
 		row := []string{fmt.Sprintf("%d%%", pct)}
-		for _, kind := range []deploy.Kind{deploy.PerturbedGrid, deploy.UniformRandom} {
-			var errs []float64
-			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := cfg.trialSeed("fig10a", pct*10+int(kind), trial)
-				e, err := traceTrial(cfg, kind, float64(pct)/100, 5, seed)
-				if err != nil {
-					return Table{}, err
-				}
-				errs = append(errs, e)
-			}
-			row = append(row, f2(stats.Mean(errs)))
+		for kj := range kinds {
+			row = append(row, f2(stats.Mean(res[pi*len(kinds)+kj])))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -193,19 +214,30 @@ func Fig10b(cfg Config) (Table, error) {
 		Paper:   "robust to the enlarged prediction disc: error grows only slightly with the radius",
 		Columns: []string{"radius", "perturbed-grid", "random"},
 	}
-	for _, radius := range []float64{4, 6, 8, 10, 12} {
+	radii := []float64{4, 6, 8, 10, 12}
+	kinds := []deploy.Kind{deploy.PerturbedGrid, deploy.UniformRandom}
+	type spec struct {
+		radius float64
+		kind   deploy.Kind
+	}
+	var cells []int
+	var specs []spec
+	for _, radius := range radii {
+		for _, kind := range kinds {
+			cells = append(cells, int(radius)*10+int(kind))
+			specs = append(specs, spec{radius, kind})
+		}
+	}
+	res, err := runCells(cfg, "fig10b", cells, func(ci, trial int, seed uint64) (float64, error) {
+		return traceTrial(cfg, specs[ci].kind, 0.1, specs[ci].radius, seed)
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for ri, radius := range radii {
 		row := []string{f2(radius)}
-		for _, kind := range []deploy.Kind{deploy.PerturbedGrid, deploy.UniformRandom} {
-			var errs []float64
-			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := cfg.trialSeed("fig10b", int(radius)*10+int(kind), trial)
-				e, err := traceTrial(cfg, kind, 0.1, radius, seed)
-				if err != nil {
-					return Table{}, err
-				}
-				errs = append(errs, e)
-			}
-			row = append(row, f2(stats.Mean(errs)))
+		for kj := range kinds {
+			row = append(row, f2(stats.Mean(res[ri*len(kinds)+kj])))
 		}
 		t.Rows = append(t.Rows, row)
 	}

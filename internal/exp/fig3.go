@@ -29,9 +29,9 @@ func fig3Settings() []fig3Setting {
 }
 
 // fig3Accuracy computes the model accuracy statistics for one setting with
-// the given number of smoothing passes applied to the measured flux.
-func fig3Accuracy(cfg Config, set fig3Setting, smoothPasses, trial int) (fluxmodel.AccuracyStats, error) {
-	seed := cfg.trialSeed("fig3"+set.label, smoothPasses, trial)
+// the given number of smoothing passes applied to the measured flux. The
+// seed comes from the trial pool (expID "fig3"+label, cell = passes).
+func fig3Accuracy(set fig3Setting, smoothPasses int, seed uint64) (fluxmodel.AccuracyStats, error) {
 	src := rng.New(seed)
 	sc, err := core.NewScenario(core.ScenarioConfig{
 		Nodes:        set.nodes,
@@ -70,12 +70,16 @@ func Fig3a(cfg Config) (Table, error) {
 
 	perSetting := make([][]float64, len(settings))
 	for si, set := range settings {
+		set := set
+		accs, err := runTrials(cfg, "fig3"+set.label, 1, cfg.Trials,
+			func(trial int, seed uint64) (fluxmodel.AccuracyStats, error) {
+				return fig3Accuracy(set, 1, seed)
+			})
+		if err != nil {
+			return Table{}, err
+		}
 		var all []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			acc, err := fig3Accuracy(cfg, set, 1, trial)
-			if err != nil {
-				return Table{}, err
-			}
+		for _, acc := range accs {
 			all = append(all, acc.ErrRates...)
 		}
 		perSetting[si] = all
@@ -111,11 +115,14 @@ func Fig3b(cfg Config) (Table, error) {
 	}
 	agg := map[int]*hopAgg{}
 	var energyShare []float64
-	for trial := 0; trial < cfg.Trials; trial++ {
-		acc, err := fig3Accuracy(cfg, set, 1, trial)
-		if err != nil {
-			return Table{}, err
-		}
+	accs, err := runTrials(cfg, "fig3"+set.label, 1, cfg.Trials,
+		func(trial int, seed uint64) (fluxmodel.AccuracyStats, error) {
+			return fig3Accuracy(set, 1, seed)
+		})
+	if err != nil {
+		return Table{}, err
+	}
+	for _, acc := range accs {
 		for _, b := range acc.ByHop {
 			if b.N == 0 {
 				continue
@@ -177,13 +184,17 @@ func AblationSmoothing(cfg Config) (Table, error) {
 		Paper:   "the paper recommends neighborhood averaging for a smoother flux map",
 		Columns: []string{"smooth_passes", "frac_err<=0.4", "median_err"},
 	}
-	for _, passes := range []int{0, 1, 2} {
+	passesList := []int{0, 1, 2}
+	res, err := runCells(cfg, "fig3"+set.label, passesList,
+		func(ci, trial int, seed uint64) (fluxmodel.AccuracyStats, error) {
+			return fig3Accuracy(set, passesList[ci], seed)
+		})
+	if err != nil {
+		return Table{}, err
+	}
+	for ci, passes := range passesList {
 		var all []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			acc, err := fig3Accuracy(cfg, set, passes, trial)
-			if err != nil {
-				return Table{}, err
-			}
+		for _, acc := range res[ci] {
 			all = append(all, acc.ErrRates...)
 		}
 		t.Rows = append(t.Rows, []string{

@@ -28,40 +28,68 @@ func Fig4(cfg Config) (Table, error) {
 	}
 	rounds := make([]roundAgg, 3)
 
-	for trial := 0; trial < cfg.Trials; trial++ {
-		seed := cfg.trialSeed("fig4", 0, trial)
-		src := rng.New(seed)
-		sc := mustScenario(defaultScenarioCfg(), seed)
-		users := traffic.RandomUsers(sc.Field(), 3, 1, 3, src)
-		flux, err := sc.GroundFlux(users)
-		if err != nil {
-			return Table{}, err
-		}
-		initial := traffic.TotalEnergy(flux)
-		dets, err := brief.Brief(sc.Network(), sc.Model(), flux, 3, brief.Options{})
-		if err != nil {
-			return Table{}, err
-		}
-		matched := make([]bool, len(users))
+	// One trial's per-round detections; hasMatch/hasResFrac mirror the
+	// conditional appends of the sequential reduction.
+	type roundResult struct {
+		matchErr   float64
+		hasMatch   bool
+		stretch    float64
+		resFrac    float64
+		hasResFrac bool
+	}
+	trials, err := runTrials(cfg, "fig4", 0, cfg.Trials,
+		func(trial int, seed uint64) ([]roundResult, error) {
+			src := rng.New(seed)
+			sc := mustScenario(defaultScenarioCfg(), seed)
+			users := traffic.RandomUsers(sc.Field(), 3, 1, 3, src)
+			flux, err := sc.GroundFlux(users)
+			if err != nil {
+				return nil, err
+			}
+			initial := traffic.TotalEnergy(flux)
+			dets, err := brief.Brief(sc.Network(), sc.Model(), flux, 3, brief.Options{})
+			if err != nil {
+				return nil, err
+			}
+			matched := make([]bool, len(users))
+			out := make([]roundResult, len(dets))
+			for r, d := range dets {
+				// Match this detection to the nearest unmatched true user.
+				best, bestD := -1, 0.0
+				for j, u := range users {
+					if matched[j] {
+						continue
+					}
+					dd := d.Pos.Dist(u.Pos)
+					if best < 0 || dd < bestD {
+						best, bestD = j, dd
+					}
+				}
+				if best >= 0 {
+					matched[best] = true
+					out[r].matchErr, out[r].hasMatch = bestD, true
+				}
+				out[r].stretch = d.Stretch
+				if initial > 0 {
+					out[r].resFrac, out[r].hasResFrac = d.ResidualEnergy/initial, true
+				}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return Table{}, err
+	}
+	for _, dets := range trials {
 		for r, d := range dets {
-			// Match this detection to the nearest unmatched true user.
-			best, bestD := -1, 0.0
-			for j, u := range users {
-				if matched[j] {
-					continue
-				}
-				dd := d.Pos.Dist(u.Pos)
-				if best < 0 || dd < bestD {
-					best, bestD = j, dd
-				}
+			if r >= len(rounds) {
+				break
 			}
-			if best >= 0 {
-				matched[best] = true
-				rounds[r].matchErr = append(rounds[r].matchErr, bestD)
+			if d.hasMatch {
+				rounds[r].matchErr = append(rounds[r].matchErr, d.matchErr)
 			}
-			rounds[r].stretch = append(rounds[r].stretch, d.Stretch)
-			if initial > 0 {
-				rounds[r].resFrac = append(rounds[r].resFrac, d.ResidualEnergy/initial)
+			rounds[r].stretch = append(rounds[r].stretch, d.stretch)
+			if d.hasResFrac {
+				rounds[r].resFrac = append(rounds[r].resFrac, d.resFrac)
 			}
 		}
 	}

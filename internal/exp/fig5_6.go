@@ -14,7 +14,7 @@ import (
 // localizeTrial runs one instant-localization trial: k users with random
 // stretches in [1, 3), a sniffer covering sampleCount nodes, NLS fitting,
 // and greedy error matching. It returns the per-user errors.
-func localizeTrial(sc *core.Scenario, k, sampleCount, samples int, src *rng.Source) ([]float64, error) {
+func localizeTrial(cfg Config, sc *core.Scenario, k, sampleCount, samples int, src *rng.Source) ([]float64, error) {
 	sniffer, err := sc.NewSnifferCount(sampleCount, src)
 	if err != nil {
 		return nil, err
@@ -23,9 +23,7 @@ func localizeTrial(sc *core.Scenario, k, sampleCount, samples int, src *rng.Sour
 	if _, err := sniffer.Observe(users, 0, src); err != nil {
 		return nil, err
 	}
-	res, err := sniffer.Localize(k, fit.Options{
-		Samples: samples, TopM: 10, Seed: src.Uint64(),
-	}, src)
+	res, err := sniffer.Localize(k, cfg.searchOpts(samples, src.Uint64()), src)
 	if err != nil {
 		return nil, err
 	}
@@ -48,16 +46,18 @@ func Fig5(cfg Config) (Table, error) {
 		Paper:   "avg err 0.97 / 1.27 / 1.63 for 1 / 2 / 3 users; more users -> lower accuracy",
 		Columns: []string{"users", "mean_err", "median_err", "max_err"},
 	}
-	for _, k := range []int{1, 2, 3} {
+	ks := []int{1, 2, 3}
+	res, err := runCells(cfg, "fig5", ks, func(ci, trial int, seed uint64) ([]float64, error) {
+		sc := mustScenario(defaultScenarioCfg(), seed)
+		src := rng.New(seed + 17)
+		return localizeTrial(cfg, sc, ks[ci], sc.Network().Len(), cfg.Samples, src)
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for ci, k := range ks {
 		var errs []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.trialSeed("fig5", k, trial)
-			sc := mustScenario(defaultScenarioCfg(), seed)
-			src := rng.New(seed + 17)
-			es, err := localizeTrial(sc, k, sc.Network().Len(), cfg.Samples, src)
-			if err != nil {
-				return Table{}, err
-			}
+		for _, es := range res[ci] {
 			errs = append(errs, es...)
 		}
 		s := stats.Summarize(errs)
@@ -88,19 +88,31 @@ func Fig6a(cfg Config) (Table, error) {
 		Paper:   "error stays low down to 10% sampling (1.23/1.52/1.84/2.01 for 1-4 users), jumps below 5%",
 		Columns: []string{"pct", "1 user", "2 users", "3 users", "4 users"},
 	}
-	for _, pct := range []int{40, 20, 10, 5} {
+	pcts := []int{40, 20, 10, 5}
+	ks := []int{1, 2, 3, 4}
+	type spec struct{ pct, k int }
+	var cells []int
+	var specs []spec
+	for _, pct := range pcts {
+		for _, k := range ks {
+			cells = append(cells, pct*10+k)
+			specs = append(specs, spec{pct, k})
+		}
+	}
+	res, err := runCells(cfg, "fig6a", cells, func(ci, trial int, seed uint64) ([]float64, error) {
+		sc := mustScenario(defaultScenarioCfg(), seed)
+		src := rng.New(seed + 17)
+		count := sc.Network().Len() * specs[ci].pct / 100
+		return localizeTrial(cfg, sc, specs[ci].k, count, sparseSearchSamples(cfg), src)
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for pi, pct := range pcts {
 		row := []string{fmt.Sprintf("%d%%", pct)}
-		for _, k := range []int{1, 2, 3, 4} {
+		for kj := range ks {
 			var errs []float64
-			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := cfg.trialSeed("fig6a", pct*10+k, trial)
-				sc := mustScenario(defaultScenarioCfg(), seed)
-				src := rng.New(seed + 17)
-				count := sc.Network().Len() * pct / 100
-				es, err := localizeTrial(sc, k, count, sparseSearchSamples(cfg), src)
-				if err != nil {
-					return Table{}, err
-				}
+			for _, es := range res[pi*len(ks)+kj] {
 				errs = append(errs, es...)
 			}
 			row = append(row, f2(stats.Mean(errs)))
@@ -120,20 +132,32 @@ func Fig6b(cfg Config) (Table, error) {
 		Paper:   "error decreases mildly with density; impact fairly limited",
 		Columns: []string{"nodes", "1 user", "2 users", "3 users", "4 users"},
 	}
-	for _, nodes := range []int{900, 1200, 1500, 1800} {
+	nodeCounts := []int{900, 1200, 1500, 1800}
+	ks := []int{1, 2, 3, 4}
+	type spec struct{ nodes, k int }
+	var cells []int
+	var specs []spec
+	for _, nodes := range nodeCounts {
+		for _, k := range ks {
+			cells = append(cells, nodes+k)
+			specs = append(specs, spec{nodes, k})
+		}
+	}
+	res, err := runCells(cfg, "fig6b", cells, func(ci, trial int, seed uint64) ([]float64, error) {
+		scc := defaultScenarioCfg()
+		scc.Nodes = specs[ci].nodes
+		sc := mustScenario(scc, seed)
+		src := rng.New(seed + 17)
+		return localizeTrial(cfg, sc, specs[ci].k, 90, sparseSearchSamples(cfg), src)
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for ni, nodes := range nodeCounts {
 		row := []string{fmt.Sprintf("%d", nodes)}
-		for _, k := range []int{1, 2, 3, 4} {
+		for kj := range ks {
 			var errs []float64
-			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := cfg.trialSeed("fig6b", nodes+k, trial)
-				scc := defaultScenarioCfg()
-				scc.Nodes = nodes
-				sc := mustScenario(scc, seed)
-				src := rng.New(seed + 17)
-				es, err := localizeTrial(sc, k, 90, sparseSearchSamples(cfg), src)
-				if err != nil {
-					return Table{}, err
-				}
+			for _, es := range res[ni*len(ks)+kj] {
 				errs = append(errs, es...)
 			}
 			row = append(row, f2(stats.Mean(errs)))
@@ -154,24 +178,25 @@ func AblationSearch(cfg Config) (Table, error) {
 		Paper:   "n/a (implementation ablation; the paper's N^K filter is intractable at N=10^4)",
 		Columns: []string{"search", "mean_obj", "mean_err", "found_same_best_frac"},
 	}
-	var exhObj, exhErr, condObj, condErr []float64
-	same := 0
-	for trial := 0; trial < cfg.Trials; trial++ {
-		seed := cfg.trialSeed("ablA1", 0, trial)
+	type searchTrial struct {
+		exhObj, exhErr, condObj, condErr float64
+		same                             bool
+	}
+	trials, err := runTrials(cfg, "ablA1", 0, cfg.Trials, func(trial int, seed uint64) (searchTrial, error) {
 		sc := mustScenario(defaultScenarioCfg(), seed)
 		src := rng.New(seed + 17)
 		sniffer, err := sc.NewSnifferCount(90, src)
 		if err != nil {
-			return Table{}, err
+			return searchTrial{}, err
 		}
 		users := traffic.RandomUsers(sc.Field(), 2, 1, 3, src)
 		obs, err := sniffer.Observe(users, 0, src)
 		if err != nil {
-			return Table{}, err
+			return searchTrial{}, err
 		}
 		prob, err := sniffer.Problem(obs)
 		if err != nil {
-			return Table{}, err
+			return searchTrial{}, err
 		}
 		cands := make([][]geom.Point, 2)
 		for j := range cands {
@@ -182,19 +207,37 @@ func AblationSearch(cfg Config) (Table, error) {
 		}
 		truths := []geom.Point{users[0].Pos, users[1].Pos}
 
-		exh, err := fit.SearchCandidates(prob, cands, fit.Options{TopM: 5, MaxExhaustive: 10000})
+		exh, err := fit.SearchCandidates(prob, cands, fit.Options{
+			TopM: 5, MaxExhaustive: 10000, Workers: cfg.Workers,
+		})
 		if err != nil {
-			return Table{}, err
+			return searchTrial{}, err
 		}
-		cond, err := fit.SearchCandidates(prob, cands, fit.Options{TopM: 5, MaxExhaustive: 10, Seed: seed})
+		cond, err := fit.SearchCandidates(prob, cands, fit.Options{
+			TopM: 5, MaxExhaustive: 10, Seed: seed, Workers: cfg.Workers,
+		})
 		if err != nil {
-			return Table{}, err
+			return searchTrial{}, err
 		}
-		exhObj = append(exhObj, exh.Best[0].Objective)
-		condObj = append(condObj, cond.Best[0].Objective)
-		exhErr = append(exhErr, stats.Mean(matchErrors(exh.Best[0].Positions, truths)))
-		condErr = append(condErr, stats.Mean(matchErrors(cond.Best[0].Positions, truths)))
-		if abs(exh.Best[0].Objective-cond.Best[0].Objective) < 1e-9 {
+		return searchTrial{
+			exhObj:  exh.Best[0].Objective,
+			condObj: cond.Best[0].Objective,
+			exhErr:  stats.Mean(matchErrors(exh.Best[0].Positions, truths)),
+			condErr: stats.Mean(matchErrors(cond.Best[0].Positions, truths)),
+			same:    abs(exh.Best[0].Objective-cond.Best[0].Objective) < 1e-9,
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	var exhObj, exhErr, condObj, condErr []float64
+	same := 0
+	for _, tr := range trials {
+		exhObj = append(exhObj, tr.exhObj)
+		condObj = append(condObj, tr.condObj)
+		exhErr = append(exhErr, tr.exhErr)
+		condErr = append(condErr, tr.condErr)
+		if tr.same {
 			same++
 		}
 	}
@@ -220,49 +263,58 @@ func Countermeasure(cfg Config) (Table, error) {
 		Paper:   "n/a (future-work extension: reshaping should defeat the fingerprint)",
 		Columns: []string{"dummy_amplitude(x mean flux)", "mean_err", "median_err"},
 	}
-	for _, amp := range []float64{0, 0.5, 1, 2, 4} {
+	amps := []float64{0, 0.5, 1, 2, 4}
+	cells := make([]int, len(amps))
+	for i, amp := range amps {
+		cells[i] = int(amp * 10)
+	}
+	res, err := runCells(cfg, "counter", cells, func(ci, trial int, seed uint64) ([]float64, error) {
+		amp := amps[ci]
+		sc := mustScenario(defaultScenarioCfg(), seed)
+		src := rng.New(seed + 17)
+		users := traffic.RandomUsers(sc.Field(), 2, 1, 3, src)
+		flux, err := sc.GroundFlux(users)
+		if err != nil {
+			return nil, err
+		}
+		var mean float64
+		for _, f := range flux {
+			mean += f
+		}
+		mean /= float64(len(flux))
+		if amp > 0 {
+			flux = traffic.Reshape(flux, amp*mean, src)
+		}
+		nodes, err := traffic.PickSamplingNodes(sc.Network(), 90, src)
+		if err != nil {
+			return nil, err
+		}
+		meas, err := traffic.Sample(flux, nodes)
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]geom.Point, len(nodes))
+		for i, n := range nodes {
+			pts[i] = sc.Network().Pos(n)
+		}
+		prob, err := fit.NewProblem(sc.Model(), pts, meas.Flux)
+		if err != nil {
+			return nil, err
+		}
+		res, err := fit.Localize(prob, 2, cfg.searchOpts(sparseSearchSamples(cfg), seed), src)
+		if err != nil {
+			return nil, err
+		}
+		truths := []geom.Point{users[0].Pos, users[1].Pos}
+		return matchErrors(res.Best[0].Positions, truths), nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for ci, amp := range amps {
 		var errs []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.trialSeed("counter", int(amp*10), trial)
-			sc := mustScenario(defaultScenarioCfg(), seed)
-			src := rng.New(seed + 17)
-			users := traffic.RandomUsers(sc.Field(), 2, 1, 3, src)
-			flux, err := sc.GroundFlux(users)
-			if err != nil {
-				return Table{}, err
-			}
-			var mean float64
-			for _, f := range flux {
-				mean += f
-			}
-			mean /= float64(len(flux))
-			if amp > 0 {
-				flux = traffic.Reshape(flux, amp*mean, src)
-			}
-			nodes, err := traffic.PickSamplingNodes(sc.Network(), 90, src)
-			if err != nil {
-				return Table{}, err
-			}
-			meas, err := traffic.Sample(flux, nodes)
-			if err != nil {
-				return Table{}, err
-			}
-			pts := make([]geom.Point, len(nodes))
-			for i, n := range nodes {
-				pts[i] = sc.Network().Pos(n)
-			}
-			prob, err := fit.NewProblem(sc.Model(), pts, meas.Flux)
-			if err != nil {
-				return Table{}, err
-			}
-			res, err := fit.Localize(prob, 2, fit.Options{
-				Samples: sparseSearchSamples(cfg), TopM: 10, Seed: seed,
-			}, src)
-			if err != nil {
-				return Table{}, err
-			}
-			truths := []geom.Point{users[0].Pos, users[1].Pos}
-			errs = append(errs, matchErrors(res.Best[0].Positions, truths)...)
+		for _, es := range res[ci] {
+			errs = append(errs, es...)
 		}
 		t.Rows = append(t.Rows, []string{
 			f2(amp), f2(stats.Mean(errs)), f2(stats.Median(errs)),

@@ -27,6 +27,7 @@ func trackTrial(cfg Config, sc *core.Scenario, trajectories []mobility.Trajector
 	}
 	tracker, err := sniffer.NewTracker(k, core.TrackerConfig{
 		N: cfg.TrackN, M: cfg.TrackM, VMax: vmax, UniformWeights: uniformWeights,
+		Search: cfg.trackerSearch(),
 	}, src.Uint64())
 	if err != nil {
 		return nil, err
@@ -114,19 +115,22 @@ func Fig7(cfg Config) (Table, error) {
 
 	perCase := make([][]float64, len(cases)) // [case][round] mean error
 	for ci, cs := range cases {
+		cs := cs
+		trials, err := runTrials(cfg, "fig7"+cs.name, ci, cfg.Trials,
+			func(trial int, seed uint64) ([]float64, error) {
+				sc := mustScenario(defaultScenarioCfg(), seed)
+				src := rng.New(seed + 17)
+				trajs, err := cs.traj(sc, src)
+				if err != nil {
+					return nil, err
+				}
+				return trackTrial(cfg, sc, trajs, sc.Network().Len(), 5, false, src)
+			})
+		if err != nil {
+			return Table{}, err
+		}
 		sums := make([]float64, cfg.Rounds)
-		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.trialSeed("fig7"+cs.name, ci, trial)
-			sc := mustScenario(defaultScenarioCfg(), seed)
-			src := rng.New(seed + 17)
-			trajs, err := cs.traj(sc, src)
-			if err != nil {
-				return Table{}, err
-			}
-			perRound, err := trackTrial(cfg, sc, trajs, sc.Network().Len(), 5, false, src)
-			if err != nil {
-				return Table{}, err
-			}
+		for _, perRound := range trials {
 			for r, e := range perRound {
 				sums[r] += e
 			}
@@ -157,26 +161,38 @@ func Fig8a(cfg Config) (Table, error) {
 		Paper:   "accuracy stable until sampling drops below 5%; 10% of nodes already acceptable",
 		Columns: []string{"pct", "1 user", "2 users", "3 users", "4 users"},
 	}
-	for _, pct := range []int{40, 20, 10, 5} {
+	pcts := []int{40, 20, 10, 5}
+	ks := []int{1, 2, 3, 4}
+	type spec struct{ pct, k int }
+	var cells []int
+	var specs []spec
+	for _, pct := range pcts {
+		for _, k := range ks {
+			cells = append(cells, pct*10+k)
+			specs = append(specs, spec{pct, k})
+		}
+	}
+	res, err := runCells(cfg, "fig8a", cells, func(ci, trial int, seed uint64) (float64, error) {
+		sc := mustScenario(defaultScenarioCfg(), seed)
+		src := rng.New(seed + 17)
+		trajs, err := randomWalks(sc, specs[ci].k, 4, cfg.Rounds, src)
+		if err != nil {
+			return 0, err
+		}
+		count := sc.Network().Len() * specs[ci].pct / 100
+		perRound, err := trackTrial(cfg, sc, trajs, count, 5, false, src)
+		if err != nil {
+			return 0, err
+		}
+		return perRound[len(perRound)-1], nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for pi, pct := range pcts {
 		row := []string{fmt.Sprintf("%d%%", pct)}
-		for _, k := range []int{1, 2, 3, 4} {
-			var errs []float64
-			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := cfg.trialSeed("fig8a", pct*10+k, trial)
-				sc := mustScenario(defaultScenarioCfg(), seed)
-				src := rng.New(seed + 17)
-				trajs, err := randomWalks(sc, k, 4, cfg.Rounds, src)
-				if err != nil {
-					return Table{}, err
-				}
-				count := sc.Network().Len() * pct / 100
-				perRound, err := trackTrial(cfg, sc, trajs, count, 5, false, src)
-				if err != nil {
-					return Table{}, err
-				}
-				errs = append(errs, perRound[len(perRound)-1])
-			}
-			row = append(row, f2(stats.Mean(errs)))
+		for kj := range ks {
+			row = append(row, f2(stats.Mean(res[pi*len(ks)+kj])))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -193,27 +209,39 @@ func Fig8b(cfg Config) (Table, error) {
 		Paper:   "network density does not significantly affect tracking accuracy",
 		Columns: []string{"nodes", "1 user", "2 users", "3 users", "4 users"},
 	}
-	for _, nodes := range []int{900, 1200, 1500, 1800} {
+	nodeCounts := []int{900, 1200, 1500, 1800}
+	ks := []int{1, 2, 3, 4}
+	type spec struct{ nodes, k int }
+	var cells []int
+	var specs []spec
+	for _, nodes := range nodeCounts {
+		for _, k := range ks {
+			cells = append(cells, nodes+k)
+			specs = append(specs, spec{nodes, k})
+		}
+	}
+	res, err := runCells(cfg, "fig8b", cells, func(ci, trial int, seed uint64) (float64, error) {
+		scc := defaultScenarioCfg()
+		scc.Nodes = specs[ci].nodes
+		sc := mustScenario(scc, seed)
+		src := rng.New(seed + 17)
+		trajs, err := randomWalks(sc, specs[ci].k, 4, cfg.Rounds, src)
+		if err != nil {
+			return 0, err
+		}
+		perRound, err := trackTrial(cfg, sc, trajs, 90, 5, false, src)
+		if err != nil {
+			return 0, err
+		}
+		return perRound[len(perRound)-1], nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for ni, nodes := range nodeCounts {
 		row := []string{fmt.Sprintf("%d", nodes)}
-		for _, k := range []int{1, 2, 3, 4} {
-			var errs []float64
-			for trial := 0; trial < cfg.Trials; trial++ {
-				seed := cfg.trialSeed("fig8b", nodes+k, trial)
-				scc := defaultScenarioCfg()
-				scc.Nodes = nodes
-				sc := mustScenario(scc, seed)
-				src := rng.New(seed + 17)
-				trajs, err := randomWalks(sc, k, 4, cfg.Rounds, src)
-				if err != nil {
-					return Table{}, err
-				}
-				perRound, err := trackTrial(cfg, sc, trajs, 90, 5, false, src)
-				if err != nil {
-					return Table{}, err
-				}
-				errs = append(errs, perRound[len(perRound)-1])
-			}
-			row = append(row, f2(stats.Mean(errs)))
+		for kj := range ks {
+			row = append(row, f2(stats.Mean(res[ni*len(ks)+kj])))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -231,28 +259,31 @@ func AblationImportance(cfg Config) (Table, error) {
 		Paper:   "the paper adopts importance sampling for faster, more accurate convergence",
 		Columns: []string{"weighting", "final_err_mean", "final_err_p90"},
 	}
-	for _, uniform := range []bool{false, true} {
-		var errs []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.trialSeed("ablA2", boolCell(uniform), trial)
-			sc := mustScenario(defaultScenarioCfg(), seed)
-			src := rng.New(seed + 17)
-			trajs, err := randomWalks(sc, 2, 4, cfg.Rounds, src)
-			if err != nil {
-				return Table{}, err
-			}
-			perRound, err := trackTrial(cfg, sc, trajs, 90, 5, uniform, src)
-			if err != nil {
-				return Table{}, err
-			}
-			errs = append(errs, perRound[len(perRound)-1])
+	cells := []int{boolCell(false), boolCell(true)}
+	res, err := runCells(cfg, "ablA2", cells, func(ci, trial int, seed uint64) (float64, error) {
+		uniform := cells[ci] == 1
+		sc := mustScenario(defaultScenarioCfg(), seed)
+		src := rng.New(seed + 17)
+		trajs, err := randomWalks(sc, 2, 4, cfg.Rounds, src)
+		if err != nil {
+			return 0, err
 		}
+		perRound, err := trackTrial(cfg, sc, trajs, 90, 5, uniform, src)
+		if err != nil {
+			return 0, err
+		}
+		return perRound[len(perRound)-1], nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for ci := range cells {
 		label := "importance"
-		if uniform {
+		if cells[ci] == 1 {
 			label = "uniform"
 		}
 		t.Rows = append(t.Rows, []string{
-			label, f2(stats.Mean(errs)), f2(stats.Percentile(errs, 90)),
+			label, f2(stats.Mean(res[ci])), f2(stats.Percentile(res[ci], 90)),
 		})
 	}
 	return t, nil

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"runtime"
+	"testing"
+)
+
+// goldenConfig shrinks every effort knob to the smallest values at which
+// the full registry still runs every code path (the trace pipeline needs
+// Rounds >= 3 to produce measurable windows). The determinism contract is
+// independent of effort, so small is fine — the full suite must be rendered
+// several times per test below.
+func goldenConfig() Config {
+	return Config{Seed: 1, Trials: 1, Samples: 150, TrackN: 40, TrackM: 10, Rounds: 3}
+}
+
+// renderAt runs one experiment at the given worker count and seed and
+// returns the rendered table.
+func renderAt(t *testing.T, e Experiment, workers int, seed uint64) string {
+	t.Helper()
+	cfg := goldenConfig()
+	cfg.Workers = workers
+	cfg.Seed = seed
+	tbl, err := e.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s workers=%d seed=%d: %v", e.ID, workers, seed, err)
+	}
+	return tbl.Render()
+}
+
+// TestGoldenWorkerInvariance is the core determinism contract of the
+// parallel harness: every registered experiment must render byte-identical
+// tables at Workers=1 (the sequential legacy path), Workers=4, and
+// Workers=GOMAXPROCS. Trials are pure functions of (experiment, cell,
+// trial), so the worker count may only change scheduling, never results.
+func TestGoldenWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden determinism suite skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			seq := renderAt(t, e, 1, 1)
+			par := renderAt(t, e, 4, 1)
+			if par != seq {
+				t.Errorf("%s: Workers=4 differs from Workers=1:\n--- sequential\n%s--- parallel\n%s", e.ID, seq, par)
+			}
+			if gmp := runtime.GOMAXPROCS(0); gmp != 1 && gmp != 4 {
+				if got := renderAt(t, e, gmp, 1); got != seq {
+					t.Errorf("%s: Workers=%d differs from Workers=1:\n--- sequential\n%s--- parallel\n%s", e.ID, gmp, seq, got)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenRerunIdentity reruns a cross-section of the pipelines in the
+// same process and demands identical output. This is the regression guard
+// for hidden shared state: the trace pipeline once paired users with
+// stretch draws in map-iteration order, which made fig10a/fig10b disagree
+// with themselves run-to-run (fixed by sorting users in buildTraceRun).
+func TestGoldenRerunIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden determinism suite skipped in -short mode")
+	}
+	for _, id := range []string{"fig10a", "fig7", "noise", "ablation-search"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := renderAt(t, e, 4, 1)
+			second := renderAt(t, e, 4, 1)
+			if first != second {
+				t.Errorf("%s: same-seed rerun differs:\n--- first\n%s--- second\n%s", id, first, second)
+			}
+		})
+	}
+}
+
+// TestGoldenSeedSensitivity checks the other half of reproducibility: a
+// different base seed must actually change the tables (all four pipelines
+// here have continuous outputs, so collisions at 2-decimal rounding across
+// a whole table would indicate the seed is being ignored).
+func TestGoldenSeedSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden determinism suite skipped in -short mode")
+	}
+	for _, id := range []string{"fig5", "fig4", "noise", "fig7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s1 := renderAt(t, e, 1, 1)
+			s2 := renderAt(t, e, 1, 2)
+			if s1 == s2 {
+				t.Errorf("%s: seed 1 and seed 2 render identical tables:\n%s", id, s1)
+			}
+		})
+	}
+}

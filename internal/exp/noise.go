@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"fluxtrack/internal/fit"
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/rng"
 	"fluxtrack/internal/stats"
@@ -21,28 +20,37 @@ func NoiseRobustness(cfg Config) (Table, error) {
 		Paper:   "§3.A: second-level observation windows add only minor error",
 		Columns: []string{"noise_sigma", "mean_err", "median_err"},
 	}
-	for _, sigma := range []float64{0, 0.05, 0.1, 0.2, 0.4} {
+	sigmas := []float64{0, 0.05, 0.1, 0.2, 0.4}
+	cells := make([]int, len(sigmas))
+	for i, sigma := range sigmas {
+		cells[i] = int(sigma * 100)
+	}
+	res, err := runCells(cfg, "noise", cells, func(ci, trial int, seed uint64) ([]float64, error) {
+		sigma := sigmas[ci]
+		sc := mustScenario(defaultScenarioCfg(), seed)
+		src := rng.New(seed + 17)
+		sniffer, err := sc.NewSnifferCount(90, src)
+		if err != nil {
+			return nil, err
+		}
+		users := traffic.RandomUsers(sc.Field(), 2, 1, 3, src)
+		if _, err := sniffer.Observe(users, sigma, src); err != nil {
+			return nil, err
+		}
+		r, err := sniffer.Localize(2, cfg.searchOpts(sparseSearchSamples(cfg), seed), src)
+		if err != nil {
+			return nil, err
+		}
+		truths := []geom.Point{users[0].Pos, users[1].Pos}
+		return matchErrors(r.Best[0].Positions, truths), nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for ci, sigma := range sigmas {
 		var errs []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.trialSeed("noise", int(sigma*100), trial)
-			sc := mustScenario(defaultScenarioCfg(), seed)
-			src := rng.New(seed + 17)
-			sniffer, err := sc.NewSnifferCount(90, src)
-			if err != nil {
-				return Table{}, err
-			}
-			users := traffic.RandomUsers(sc.Field(), 2, 1, 3, src)
-			if _, err := sniffer.Observe(users, sigma, src); err != nil {
-				return Table{}, err
-			}
-			res, err := sniffer.Localize(2, fit.Options{
-				Samples: sparseSearchSamples(cfg), TopM: 10, Seed: seed,
-			}, src)
-			if err != nil {
-				return Table{}, err
-			}
-			truths := []geom.Point{users[0].Pos, users[1].Pos}
-			errs = append(errs, matchErrors(res.Best[0].Positions, truths)...)
+		for _, es := range res[ci] {
+			errs = append(errs, es...)
 		}
 		t.Rows = append(t.Rows, []string{
 			f2(sigma), f2(stats.Mean(errs)), f2(stats.Median(errs)),

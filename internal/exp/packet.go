@@ -42,9 +42,7 @@ func packetTrial(cfg Config, k int, aggregated bool, seed uint64) ([]float64, er
 	if err != nil {
 		return nil, err
 	}
-	res, err := fit.Localize(prob, k, fit.Options{
-		Samples: sparseSearchSamples(cfg), TopM: 10, Seed: seed,
-	}, src)
+	res, err := fit.Localize(prob, k, cfg.searchOpts(sparseSearchSamples(cfg), seed), src)
 	if err != nil {
 		return nil, err
 	}
@@ -68,26 +66,30 @@ func AblationPacketLevel(cfg Config) (Table, error) {
 		Columns: []string{"measurement", "mean_err", "median_err"},
 	}
 	// Fluid path: identical workload through the standard sniffer.
+	fluidTrials, err := runTrials(cfg, "ablA8fluid", 0, cfg.Trials,
+		func(trial int, seed uint64) ([]float64, error) {
+			sc := mustScenario(defaultScenarioCfg(), seed)
+			src := rng.New(seed + 17)
+			return localizeTrial(cfg, sc, 2, 90, sparseSearchSamples(cfg), src)
+		})
+	if err != nil {
+		return Table{}, err
+	}
 	var fluid []float64
-	for trial := 0; trial < cfg.Trials; trial++ {
-		seed := cfg.trialSeed("ablA8fluid", 0, trial)
-		sc := mustScenario(defaultScenarioCfg(), seed)
-		src := rng.New(seed + 17)
-		es, err := localizeTrial(sc, 2, 90, sparseSearchSamples(cfg), src)
-		if err != nil {
-			return Table{}, err
-		}
+	for _, es := range fluidTrials {
 		fluid = append(fluid, es...)
 	}
 	t.Rows = append(t.Rows, []string{"fluid flux", f2(stats.Mean(fluid)), f2(stats.Median(fluid))})
 
+	packetTrials, err := runTrials(cfg, "ablA8pkt", 0, cfg.Trials,
+		func(trial int, seed uint64) ([]float64, error) {
+			return packetTrial(cfg, 2, false, seed)
+		})
+	if err != nil {
+		return Table{}, err
+	}
 	var packet []float64
-	for trial := 0; trial < cfg.Trials; trial++ {
-		seed := cfg.trialSeed("ablA8pkt", 0, trial)
-		es, err := packetTrial(cfg, 2, false, seed)
-		if err != nil {
-			return Table{}, err
-		}
+	for _, es := range packetTrials {
 		packet = append(packet, es...)
 	}
 	t.Rows = append(t.Rows, []string{"packet sniffing", f2(stats.Mean(packet)), f2(stats.Median(packet))})
@@ -106,18 +108,20 @@ func AggregationDefense(cfg Config) (Table, error) {
 		Paper:   "n/a (defense extension: aggregation removes the traffic concentration the attack needs)",
 		Columns: []string{"routing", "mean_err", "median_err"},
 	}
-	for _, aggregated := range []bool{false, true} {
+	cells := []int{boolCell(false), boolCell(true)}
+	res, err := runCells(cfg, "ablA9", cells, func(ci, trial int, seed uint64) ([]float64, error) {
+		return packetTrial(cfg, 2, cells[ci] == 1, seed)
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for ci := range cells {
 		var errs []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.trialSeed("ablA9", boolCell(aggregated), trial)
-			es, err := packetTrial(cfg, 2, aggregated, seed)
-			if err != nil {
-				return Table{}, err
-			}
+		for _, es := range res[ci] {
 			errs = append(errs, es...)
 		}
 		label := "raw collection"
-		if aggregated {
+		if cells[ci] == 1 {
 			label = "TAG aggregation"
 		}
 		t.Rows = append(t.Rows, []string{label, f2(stats.Mean(errs)), f2(stats.Median(errs))})

@@ -1,0 +1,125 @@
+package exp
+
+// This file implements deterministic parallel trial execution.
+//
+// Every experiment in this package is embarrassingly parallel across its
+// (cell, trial) grid: each trial derives all of its randomness from
+// Config.trialSeed(expID, cell, trial), so trials are pure functions of
+// their coordinate. runTrials and runCells exploit that by fanning the
+// units out over a bounded worker pool while writing each result into a
+// pre-sized slice slot indexed by its coordinate. Reductions then walk the
+// slices in index order, which makes every rendered Table byte-identical
+// regardless of the worker count — the concurrency contract the golden
+// tests in golden_test.go enforce for the whole registry.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerCount resolves the Workers knob: values above 1 bound the pool,
+// 1 forces the exact sequential legacy path, and 0 (or negative) means one
+// worker per available CPU.
+func (c Config) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachUnit runs fn(i) for every i in [0, n) on up to workers goroutines.
+// fn must write its outputs into index-disjoint slots; the pool guarantees
+// nothing about execution order. With workers == 1 the units run
+// sequentially in index order and the first error aborts the remaining
+// units — the exact legacy loop. With more workers every unit runs and the
+// error of the lowest-index failing unit is returned, so the error a caller
+// sees never depends on goroutine scheduling.
+func forEachUnit(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTrials runs the n trials of one experiment cell on the worker pool and
+// returns the per-trial results indexed by trial number. Each trial
+// receives its own seed from Config.trialSeed, so the randomness a trial
+// sees is a pure function of (expID, cell, trial) no matter which worker
+// executes it, and reducing the returned slice in index order reproduces
+// the sequential reduction byte for byte.
+func runTrials[T any](cfg Config, expID string, cell, n int, fn func(trial int, seed uint64) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := forEachUnit(cfg.workerCount(), n, func(trial int) error {
+		v, err := fn(trial, cfg.trialSeed(expID, cell, trial))
+		if err != nil {
+			return err
+		}
+		out[trial] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runCells fans an experiment's full (cell, trial) grid out over one shared
+// worker pool: every cell in cells runs cfg.Trials trials and the results
+// come back as out[cellIdx][trial]. cells holds the integer cell
+// coordinates fed to trialSeed, so seeds match the sequential loops
+// exactly. With Workers == 1 the units execute in the legacy order — cells
+// outer, trials inner.
+func runCells[T any](cfg Config, expID string, cells []int, fn func(cellIdx, trial int, seed uint64) (T, error)) ([][]T, error) {
+	n := cfg.Trials
+	out := make([][]T, len(cells))
+	for i := range out {
+		out[i] = make([]T, n)
+	}
+	err := forEachUnit(cfg.workerCount(), len(cells)*n, func(u int) error {
+		ci, trial := u/n, u%n
+		v, err := fn(ci, trial, cfg.trialSeed(expID, cells[ci], trial))
+		if err != nil {
+			return err
+		}
+		out[ci][trial] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
