@@ -12,6 +12,12 @@
 //	fluxbench -workers 4      # bound the trial-level parallelism
 //	fluxbench -json out.json  # also write a machine-readable benchmark report
 //
+// Profiling and report comparison:
+//
+//	fluxbench -quick -cpuprofile cpu.out    # pprof CPU profile of the run
+//	fluxbench -quick -memprofile mem.out    # heap profile at exit
+//	fluxbench compare old.json new.json     # speedup table between two -json reports
+//
 // Tables are byte-identical for every -workers value (see internal/exp).
 package main
 
@@ -21,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -60,6 +67,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "compare" {
+		return runCompare(args[1:])
+	}
 	fs := flag.NewFlagSet("fluxbench", flag.ContinueOnError)
 	var (
 		quick   = fs.Bool("quick", false, "use the reduced-effort configuration")
@@ -73,9 +83,37 @@ func run(args []string) error {
 		workers = fs.Int("workers", 0, "trial worker count (0 = one per CPU, 1 = sequential)")
 		jsonOut = fs.String("json", "", "write a JSON benchmark report to this file")
 		chart   = fs.Bool("chart", false, "render an ASCII bar chart per table column")
+		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fluxbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fluxbench: memprofile:", err)
+			}
+		}()
 	}
 
 	if *list {
@@ -162,6 +200,88 @@ func run(args []string) error {
 		fmt.Printf("wrote benchmark report to %s\n", *jsonOut)
 	}
 	return nil
+}
+
+// runCompare diffs two -json benchmark reports: per-experiment wall time in
+// the old and new run plus the speedup ratio, then the totals. Experiments
+// present in only one report are listed but not ratioed.
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("fluxbench compare", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: fluxbench compare old.json new.json (got %d args)", fs.NArg())
+	}
+	oldRep, err := loadReport(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	fmt.Print(compareReports(oldRep, newRep, fs.Arg(0), fs.Arg(1)))
+	return nil
+}
+
+func loadReport(path string) (benchReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return benchReport{}, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return benchReport{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func compareReports(oldRep, newRep benchReport, oldPath, newPath string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "old: %s (config=%s trials=%d workers=%d %s)\n",
+		oldPath, oldRep.Config, oldRep.Trials, oldRep.Workers, oldRep.GoVersion)
+	fmt.Fprintf(&b, "new: %s (config=%s trials=%d workers=%d %s)\n",
+		newPath, newRep.Config, newRep.Trials, newRep.Workers, newRep.GoVersion)
+	if oldRep.Config != newRep.Config || oldRep.Trials != newRep.Trials ||
+		oldRep.Samples != newRep.Samples || oldRep.Seed != newRep.Seed {
+		b.WriteString("warning: run configurations differ; ratios compare unlike work\n")
+	}
+	b.WriteString("\n")
+
+	oldSecs := make(map[string]float64, len(oldRep.Experiments))
+	for _, e := range oldRep.Experiments {
+		oldSecs[e.ID] = e.Seconds
+	}
+	fmt.Fprintf(&b, "%-20s %10s %10s %9s\n", "experiment", "old s", "new s", "speedup")
+	var oldTotal, newTotal float64
+	matched := make(map[string]bool, len(newRep.Experiments))
+	for _, e := range newRep.Experiments {
+		prev, ok := oldSecs[e.ID]
+		if !ok {
+			fmt.Fprintf(&b, "%-20s %10s %10.2f %9s  (new only)\n", e.ID, "-", e.Seconds, "-")
+			continue
+		}
+		matched[e.ID] = true
+		oldTotal += prev
+		newTotal += e.Seconds
+		ratio := "-"
+		if e.Seconds > 0 {
+			ratio = fmt.Sprintf("%.2fx", prev/e.Seconds)
+		}
+		fmt.Fprintf(&b, "%-20s %10.2f %10.2f %9s\n", e.ID, prev, e.Seconds, ratio)
+	}
+	for _, e := range oldRep.Experiments {
+		if !matched[e.ID] {
+			fmt.Fprintf(&b, "%-20s %10.2f %10s %9s  (old only)\n", e.ID, e.Seconds, "-", "-")
+		}
+	}
+	ratio := "-"
+	if newTotal > 0 {
+		ratio = fmt.Sprintf("%.2fx", oldTotal/newTotal)
+	}
+	fmt.Fprintf(&b, "%-20s %10.2f %10.2f %9s\n", "total (matched)", oldTotal, newTotal, ratio)
+	return b.String()
 }
 
 // renderCharts draws one bar chart per fully numeric table column, keyed by

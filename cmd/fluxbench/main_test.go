@@ -103,3 +103,100 @@ func TestRunJSONReport(t *testing.T) {
 		t.Errorf("total %v < experiment time %v", report.TotalSeconds, e.Seconds)
 	}
 }
+
+func writeReport(t *testing.T, path string, r benchReport) {
+	t.Helper()
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	oldRep := benchReport{
+		Config: "quick", Trials: 1, Workers: 1,
+		Experiments: []benchExperiment{
+			{ID: "fig5", Seconds: 10},
+			{ID: "fig7", Seconds: 20},
+			{ID: "gone", Seconds: 5},
+		},
+	}
+	newRep := benchReport{
+		Config: "quick", Trials: 1, Workers: 1,
+		Experiments: []benchExperiment{
+			{ID: "fig5", Seconds: 2},
+			{ID: "fig7", Seconds: 4},
+			{ID: "fresh", Seconds: 1},
+		},
+	}
+	out := compareReports(oldRep, newRep, "a.json", "b.json")
+	for _, want := range []string{
+		"fig5", "5.00x", "fig7", "total (matched)",
+		"gone", "(old only)", "fresh", "(new only)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "warning") {
+		t.Errorf("matching configs must not warn:\n%s", out)
+	}
+	// Mismatched configurations must warn.
+	newRep.Trials = 9
+	if out := compareReports(oldRep, newRep, "a", "b"); !strings.Contains(out, "warning") {
+		t.Errorf("mismatched configs must warn:\n%s", out)
+	}
+}
+
+func TestRunCompareSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	rep := benchReport{Config: "quick", Experiments: []benchExperiment{{ID: "fig5", Seconds: 3}}}
+	writeReport(t, oldPath, rep)
+	rep.Experiments[0].Seconds = 1
+	writeReport(t, newPath, rep)
+	if err := run([]string{"compare", oldPath, newPath}); err != nil {
+		t.Fatalf("compare subcommand failed: %v", err)
+	}
+	if err := run([]string{"compare", oldPath}); err == nil {
+		t.Error("compare with one report must error")
+	}
+	if err := run([]string{"compare", oldPath, filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("compare with a missing report must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compare", oldPath, bad}); err == nil {
+		t.Error("compare with malformed JSON must error")
+	}
+}
+
+func TestRunWithProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment skipped in -short mode")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	if err := run([]string{
+		"-quick", "-trials", "1", "-exp", "ablation-search",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}); err != nil {
+		t.Fatalf("profiled run failed: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}

@@ -8,7 +8,9 @@
 // squares solve; the outer, genuinely non-convex search over positions uses
 // candidate ranking — exhaustively over all Nᴷ compositions when feasible
 // (exactly the filtering step of Algorithm 4.1), and by iterated conditional
-// ranking otherwise.
+// ranking otherwise. The inner solve runs on cached normal-equation
+// quantities in per-worker scratch arenas (see gram.go), so steady-state
+// composition evaluation is allocation-free.
 package fit
 
 import (
@@ -21,7 +23,6 @@ import (
 
 	"fluxtrack/internal/fluxmodel"
 	"fluxtrack/internal/geom"
-	"fluxtrack/internal/mat"
 	"fluxtrack/internal/rng"
 )
 
@@ -31,6 +32,7 @@ type Problem struct {
 	points   []geom.Point // positions of the sniffed nodes
 	measured []float64    // flux readings F′ at those nodes
 	weights  []float64    // per-sample weights applied inside the objective
+	wb       []float64    // weighted measurement W·F′ (aliases measured when unweighted)
 }
 
 // NewProblem builds a Problem with unit weights (the plain ‖F − F′‖₂
@@ -68,12 +70,23 @@ func NewProblemWeighted(model *fluxmodel.Model, points []geom.Point, measured, w
 		}
 		weights = append([]float64(nil), weights...)
 	}
-	return &Problem{
+	p := &Problem{
 		model:    model,
 		points:   append([]geom.Point(nil), points...),
 		measured: append([]float64(nil), measured...),
 		weights:  weights,
-	}, nil
+	}
+	// Cache the weighted measurement once: every composition evaluation
+	// needs it for projections and residuals.
+	if weights == nil {
+		p.wb = p.measured
+	} else {
+		p.wb = make([]float64, len(p.measured))
+		for i, w := range weights {
+			p.wb[i] = w * p.measured[i]
+		}
+	}
+	return p, nil
 }
 
 // RelativeWeights returns the weighting scheme used throughout the
@@ -120,50 +133,11 @@ type Eval struct {
 
 // Evaluate fits the stretch factors for the given candidate positions and
 // returns the minimized objective (Equation 4.1 with c solved in closed
-// form by NNLS).
+// form by NNLS). Callers evaluating repeatedly should hold a Searcher and
+// use its Evaluate method, which reuses the evaluation buffers.
 func (p *Problem) Evaluate(positions []geom.Point) (Eval, error) {
-	cols := make([][]float64, len(positions))
-	for j, pos := range positions {
-		cols[j] = p.KernelColumn(pos)
-	}
-	return p.evaluateColumns(positions, cols)
-}
-
-// evaluateColumns is Evaluate with precomputed kernel columns.
-func (p *Problem) evaluateColumns(positions []geom.Point, cols [][]float64) (Eval, error) {
-	if len(positions) == 0 {
-		return Eval{}, errors.New("fit: no candidate positions")
-	}
-	n, k := len(p.points), len(positions)
-	a := mat.NewDense(n, k)
-	b := p.measured
-	if p.weights != nil {
-		b = make([]float64, n)
-		for i, w := range p.weights {
-			b[i] = w * p.measured[i]
-		}
-	}
-	for j, col := range cols {
-		for i, v := range col {
-			if p.weights != nil {
-				v *= p.weights[i]
-			}
-			a.Set(i, j, v)
-		}
-	}
-	cs, err := mat.NNLS(a, b)
-	if err != nil {
-		return Eval{}, fmt.Errorf("fit: stretch fit: %w", err)
-	}
-	pred, err := a.MulVec(cs)
-	if err != nil {
-		return Eval{}, err
-	}
-	return Eval{
-		Positions: append([]geom.Point(nil), positions...),
-		Stretches: cs,
-		Objective: mat.Norm2(mat.Sub(pred, b)),
-	}, nil
+	var s Searcher
+	return s.Evaluate(p, positions)
 }
 
 // Options configures the candidate search.
@@ -257,157 +231,41 @@ func Localize(p *Problem, numUsers int, opts Options, src *rng.Source) (Result, 
 }
 
 // SearchCandidates ranks compositions built from explicit per-user candidate
-// lists. The SMC tracker calls it with the predicted sample sets.
+// lists. The SMC tracker calls the equivalent Searcher.Search with a
+// long-lived Searcher so the arenas survive across rounds.
 func SearchCandidates(p *Problem, candidates [][]geom.Point, opts Options) (Result, error) {
-	opts = opts.withDefaults()
-	if len(candidates) == 0 {
-		return Result{}, errors.New("fit: no users")
-	}
-	for j, c := range candidates {
-		if len(c) == 0 {
-			return Result{}, fmt.Errorf("fit: user %d has no candidates", j)
-		}
-	}
-	// Precompute kernel columns per candidate. At the paper's 10,000 samples
-	// per user this loop dominates instant localization, and each column is
-	// a pure function of its candidate, so it shards cleanly across workers
-	// with results written into index-disjoint slots.
-	cols := make([][][]float64, len(candidates))
-	total := 1
-	overflow := false
-	for j, cs := range candidates {
-		cs := cs
-		colj := make([][]float64, len(cs))
-		if err := parallelFor(len(cs), opts.Workers, func(i int) error {
-			colj[i] = p.KernelColumn(cs[i])
-			return nil
-		}); err != nil {
-			return Result{}, err
-		}
-		cols[j] = colj
-		if total > opts.MaxExhaustive/len(cs) {
-			overflow = true
-		} else {
-			total *= len(cs)
-		}
-	}
-	if !overflow && total <= opts.MaxExhaustive {
-		return searchExhaustive(p, candidates, cols, opts)
-	}
-	return searchConditional(p, candidates, cols, opts)
+	return NewSearcher().Search(p, candidates, opts)
 }
 
-// searchExhaustive evaluates every composition — the literal filtering step
-// of Algorithm 4.1. Compositions are enumerated by linear index (decoded
-// mixed-radix) and sharded across workers; each worker keeps local top-M
-// and per-user bests that merge deterministically afterwards.
-func searchExhaustive(p *Problem, candidates [][]geom.Point, cols [][][]float64, opts Options) (Result, error) {
-	k := len(candidates)
-	total := 1
-	for _, cs := range candidates {
-		total *= len(cs)
-	}
-
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > total {
-		workers = total
-	}
-
-	type partial struct {
-		best        []Eval
-		perUserBest []map[int]Eval
-		err         error
-	}
-	partials := make([]partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			pt := &partials[w]
-			pt.perUserBest = make([]map[int]Eval, k)
-			for j := range pt.perUserBest {
-				pt.perUserBest[j] = make(map[int]Eval)
-			}
-			idx := make([]int, k)
-			positions := make([]geom.Point, k)
-			curCols := make([][]float64, k)
-			lo := total * w / workers
-			hi := total * (w + 1) / workers
-			for lin := lo; lin < hi; lin++ {
-				// Decode the linear index into per-user candidate indices.
-				rem := lin
-				for j := k - 1; j >= 0; j-- {
-					idx[j] = rem % len(candidates[j])
-					rem /= len(candidates[j])
-				}
-				for j := range idx {
-					positions[j] = candidates[j][idx[j]]
-					curCols[j] = cols[j][idx[j]]
-				}
-				ev, err := p.evaluateColumns(positions, curCols)
-				if err != nil {
-					pt.err = err
-					return
-				}
-				pt.best = insertTopM(pt.best, ev, opts.TopM)
-				for j := range idx {
-					if cur, ok := pt.perUserBest[j][idx[j]]; !ok || ev.Objective < cur.Objective {
-						pt.perUserBest[j][idx[j]] = ev
-					}
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	var best []Eval
-	perUserBest := make([]map[int]Eval, k)
-	for j := range perUserBest {
-		perUserBest[j] = make(map[int]Eval)
-	}
-	for w := range partials {
-		if err := partials[w].err; err != nil {
-			return Result{}, err
-		}
-		for _, ev := range partials[w].best {
-			best = insertTopM(best, ev, opts.TopM)
-		}
-		for j, m := range partials[w].perUserBest {
-			for i, ev := range m {
-				if cur, ok := perUserBest[j][i]; !ok || ev.Objective < cur.Objective {
-					perUserBest[j][i] = ev
-				}
-			}
-		}
-	}
-
-	res := Result{Best: best, Exhaustive: true, PerUser: make([][]RankedPosition, k)}
-	for j := range perUserBest {
-		res.PerUser[j] = rankFromMap(candidates[j], perUserBest[j], j, opts.TopM)
-	}
-	return res, nil
-}
-
-// parallelFor runs fn(i) for every i in [0, n) on up to workers goroutines
-// (GOMAXPROCS when workers <= 0). The first error wins; fn invocations must
-// be independent.
-func parallelFor(n, workers int, fn func(i int) error) error {
-	if n == 0 {
-		return nil
-	}
+// resolveWorkers returns the worker count parallelFor will actually use for
+// n independent units: GOMAXPROCS when workers <= 0, never more than n,
+// never less than 1.
+func resolveWorkers(n, workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelFor runs fn(w, i) for every i in [0, n) on up to workers
+// goroutines (GOMAXPROCS when workers <= 0). The worker index w identifies
+// which of the resolveWorkers(n, workers) contiguous shards is running, so
+// callers can hand each worker its own scratch state. The first
+// (lowest-shard) error wins; fn invocations must be independent.
+func parallelFor(n, workers int, fn func(w, i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers = resolveWorkers(n, workers)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -422,7 +280,7 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 			lo := n * w / workers
 			hi := n * (w + 1) / workers
 			for i := lo; i < hi; i++ {
-				if err := fn(i); err != nil {
+				if err := fn(w, i); err != nil {
 					errs[w] = err
 					return
 				}
@@ -431,161 +289,6 @@ func parallelFor(n, workers int, fn func(i int) error) error {
 	}
 	wg.Wait()
 	return errors.Join(errs...)
-}
-
-// searchConditional approximates the exhaustive ranking: users are
-// initialized greedily one at a time (mirroring the recursive briefing of
-// §3.C) and then refined by coordinate sweeps, re-ranking each user's
-// candidates while the other users sit at their incumbent best positions.
-// Multiple restarts with permuted initialization order guard against the
-// local minima of this coordinate descent; the restart with the lowest
-// final objective wins.
-func searchConditional(p *Problem, candidates [][]geom.Point, cols [][][]float64, opts Options) (Result, error) {
-	k := len(candidates)
-	restarts := opts.Restarts
-	if k == 1 {
-		restarts = 1 // a single sweep already ranks every candidate exactly
-	}
-	src := rng.New(opts.Seed ^ 0xf1a7)
-
-	var best Result
-	bestObj := math.Inf(1)
-	for attempt := 0; attempt < restarts; attempt++ {
-		order := src.Perm(k)
-		res, err := runConditional(p, candidates, cols, order, opts)
-		if err != nil {
-			return Result{}, err
-		}
-		if len(res.Best) > 0 && res.Best[0].Objective < bestObj {
-			best, bestObj = res, res.Best[0].Objective
-		}
-	}
-	return best, nil
-}
-
-// runConditional performs one greedy initialization (in the given user
-// order) followed by refinement sweeps.
-func runConditional(p *Problem, candidates [][]geom.Point, cols [][][]float64, order []int, opts Options) (Result, error) {
-	k := len(candidates)
-	bestIdx := make([]int, k)
-	assigned := make([]bool, k)
-
-	// Greedy initialization: place users one at a time, each minimizing the
-	// joint objective with the already-placed ones.
-	for _, j := range order {
-		if _, _, err := rankUserConditional(p, candidates, cols, bestIdx, assigned, j, 1, opts.Workers); err != nil {
-			return Result{}, err
-		}
-		assigned[j] = true
-	}
-
-	// Refinement sweeps with full per-user rankings on the final sweep.
-	var res Result
-	res.PerUser = make([][]RankedPosition, k)
-	for sweep := 0; sweep < opts.Sweeps; sweep++ {
-		final := sweep == opts.Sweeps-1
-		for j := 0; j < k; j++ {
-			ranked, bestEval, err := rankUserConditional(p, candidates, cols, bestIdx, assigned, j, opts.TopM, opts.Workers)
-			if err != nil {
-				return Result{}, err
-			}
-			if final {
-				res.PerUser[j] = ranked
-				res.Best = insertTopM(res.Best, bestEval, opts.TopM)
-			}
-		}
-	}
-	return res, nil
-}
-
-// rankUserConditional ranks user j's candidates with every other assigned
-// user fixed at its incumbent position. It updates bestIdx[j] to the winner
-// and returns the topM ranking plus the winning evaluation.
-func rankUserConditional(p *Problem, candidates [][]geom.Point, cols [][][]float64,
-	bestIdx []int, assigned []bool, j, topM, workers int) ([]RankedPosition, Eval, error) {
-	k := len(candidates)
-	// Fixed context: assigned users other than j.
-	var fixedPos []geom.Point
-	var fixedCols [][]float64
-	for o := 0; o < k; o++ {
-		if o == j || !assigned[o] {
-			continue
-		}
-		fixedPos = append(fixedPos, candidates[o][bestIdx[o]])
-		fixedCols = append(fixedCols, cols[o][bestIdx[o]])
-	}
-
-	ranked := make([]RankedPosition, len(candidates[j]))
-	evals := make([]Eval, len(candidates[j]))
-	err := parallelFor(len(candidates[j]), workers, func(i int) error {
-		// Per-goroutine copies of the composition scratch space.
-		pos := make([]geom.Point, len(fixedPos)+1)
-		cc := make([][]float64, len(fixedCols)+1)
-		copy(pos, fixedPos)
-		copy(cc, fixedCols)
-		pos[len(fixedPos)] = candidates[j][i]
-		cc[len(fixedCols)] = cols[j][i]
-		ev, err := p.evaluateColumns(pos, cc)
-		if err != nil {
-			return err
-		}
-		evals[i] = ev
-		ranked[i] = RankedPosition{
-			Pos:       candidates[j][i],
-			Index:     i,
-			Stretch:   ev.Stretches[len(fixedPos)],
-			Objective: ev.Objective,
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, Eval{}, err
-	}
-	var bestEval Eval
-	bestEval.Objective = math.Inf(1)
-	bestI := bestIdx[j]
-	for i := range evals {
-		if evals[i].Objective < bestEval.Objective {
-			bestEval = evals[i]
-			bestI = i
-		}
-	}
-	bestIdx[j] = bestI
-	sort.Slice(ranked, func(a, b int) bool {
-		if ranked[a].Objective != ranked[b].Objective {
-			return ranked[a].Objective < ranked[b].Objective
-		}
-		return ranked[a].Index < ranked[b].Index
-	})
-	if len(ranked) > topM {
-		ranked = ranked[:topM]
-	}
-	// bestEval's slices are ordered [fixed users..., user j], not by user
-	// index. Re-evaluate the full composition in user order so Positions
-	// and Stretches align user-by-user for the caller; this needs every
-	// user assigned, so the greedy-initialization phase (where it is not
-	// consumed) skips it.
-	allAssigned := true
-	for o := 0; o < k; o++ {
-		if o != j && !assigned[o] {
-			allAssigned = false
-			break
-		}
-	}
-	if allAssigned {
-		full := make([]geom.Point, k)
-		fullCols := make([][]float64, k)
-		for o := 0; o < k; o++ {
-			full[o] = candidates[o][bestIdx[o]]
-			fullCols[o] = cols[o][bestIdx[o]]
-		}
-		ev, err := p.evaluateColumns(full, fullCols)
-		if err != nil {
-			return nil, Eval{}, err
-		}
-		bestEval = ev
-	}
-	return ranked, bestEval, nil
 }
 
 // insertTopM inserts ev into the ascending-by-objective slice best, keeping

@@ -1,0 +1,163 @@
+// Gram-cached composition evaluation.
+//
+// The candidate search ranks up to MaxExhaustive compositions per call, and
+// every composition evaluation is a tiny non-negative least-squares solve
+// min ‖W(Ac − F′)‖₂ whose columns are drawn from a fixed per-candidate
+// pool. Rather than rebuilding the weighted n×k matrix per composition (the
+// pre-PR-2 path: one Dense, one weighted copy of F′, and a general QR-based
+// Lawson–Hanson solve, all allocating), the evaluator caches per candidate
+//
+//	wcol  = W·g(sink)        the weighted kernel column,
+//	norm2 = ⟨wcol, wcol⟩     its squared norm (the Gram diagonal),
+//	proj  = ⟨wcol, W·F′⟩     its projection onto the weighted measurement,
+//
+// so a composition only needs the k(k−1)/2 cross-terms ⟨wcolᵢ, wcolⱼ⟩ plus
+// a k×k NNLS solved in a preallocated workspace (mat.NNLSGramInto). The
+// fitted objective is then recovered from the explicit weighted residual —
+// not from the normal-equation identity ‖r‖² = ‖b‖² − 2xᵀd + xᵀGx, which
+// cancels catastrophically for good fits — so objectives keep full relative
+// precision.
+//
+// Every Gram entry is a pure function of its candidate pair (the dot
+// product runs in ascending index order regardless of which slot changed),
+// so evaluations are bit-identical no matter how compositions are sharded
+// across workers or in which order slots were filled: the determinism
+// contract of internal/exp survives unchanged.
+package fit
+
+import (
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/mat"
+)
+
+// candCol is the per-candidate cache of the Gram evaluator. Pointer
+// identity doubles as the cache key inside evalScratch: candCols live in
+// stable slices owned by a Searcher for the duration of one search.
+type candCol struct {
+	wcol  []float64 // weighted kernel column W·g(sink) over the sample points
+	norm2 float64   // ⟨wcol, wcol⟩
+	proj  float64   // ⟨wcol, wb⟩ with wb the weighted measurement W·F′
+}
+
+// fillCandCol computes the candidate cache for one sink position into c,
+// whose wcol must already be sized to the sample count. It performs no
+// allocations.
+func (p *Problem) fillCandCol(sink geom.Point, c *candCol) {
+	wcol := p.model.KernelVectorInto(sink, p.points, c.wcol)
+	if p.weights != nil {
+		for i, w := range p.weights {
+			wcol[i] *= w
+		}
+	}
+	var norm2, proj float64
+	for i, v := range wcol {
+		norm2 += v * v
+		proj += v * p.wb[i]
+	}
+	c.norm2, c.proj = norm2, proj
+}
+
+// evalScratch is one worker's reusable state for evaluating compositions:
+// the current composition's Gram matrix and projections, the NNLS solution
+// and workspace, and a residual buffer. After ensure has sized it, the
+// evaluate path (setK/setCol/solve) performs zero heap allocations.
+//
+// The scratch caches the composition incrementally: setCol is a no-op when
+// the slot already holds the same candidate, so enumeration orders that
+// vary one user at a time (the mixed-radix exhaustive scan, the
+// one-user-at-a-time conditional scan) only pay for the Gram row that
+// actually changed — a rank-1 row update instead of a full k×k recompute.
+type evalScratch struct {
+	n, k  int
+	cur   []*candCol // current composition, slot-indexed; nil = unset
+	gram  []float64  // k×k row-major Gram matrix of the current composition
+	d     []float64  // per-slot projections ⟨wcol, wb⟩
+	x     []float64  // NNLS solution (fitted stretches), valid after solve
+	resid []float64  // length-n weighted residual buffer
+	ws    mat.NNLSWorkspace
+}
+
+// ensure sizes the scratch for problems with n samples and compositions of
+// up to kMax users, and invalidates any cached composition (the caller may
+// have rewritten the candidate pool backing the cached pointers).
+func (sc *evalScratch) ensure(n, kMax int) {
+	if cap(sc.cur) < kMax {
+		sc.cur = make([]*candCol, kMax)
+		sc.gram = make([]float64, kMax*kMax)
+		sc.d = make([]float64, kMax)
+		sc.x = make([]float64, kMax)
+	}
+	if cap(sc.resid) < n {
+		sc.resid = make([]float64, n)
+	}
+	sc.resid = sc.resid[:n]
+	sc.n = n
+	sc.k = 0 // forces the next setK to clear the slot cache
+}
+
+// setK sets the active composition size. Changing the size relayouts the
+// Gram matrix, so the slot cache is cleared.
+func (sc *evalScratch) setK(k int) {
+	if sc.k == k {
+		return
+	}
+	sc.k = k
+	cur := sc.cur[:k]
+	for j := range cur {
+		cur[j] = nil
+	}
+}
+
+// setCol installs candidate c in slot j, refreshing row and column j of the
+// Gram matrix against the other occupied slots. Unchanged slots (pointer
+// equality) cost nothing.
+func (sc *evalScratch) setCol(j int, c *candCol) {
+	if sc.cur[j] == c {
+		return
+	}
+	sc.cur[j] = c
+	k := sc.k
+	sc.d[j] = c.proj
+	sc.gram[j*k+j] = c.norm2
+	for o := 0; o < k; o++ {
+		oc := sc.cur[o]
+		if o == j || oc == nil {
+			continue
+		}
+		v := mat.Dot(c.wcol, oc.wcol)
+		sc.gram[j*k+o] = v
+		sc.gram[o*k+j] = v
+	}
+}
+
+// solve fits the stretch factors of the current composition and returns the
+// minimized weighted objective ‖W(Ac − F′)‖₂. The fitted stretches are left
+// in sc.x[:sc.k], slot-aligned. Steady state performs no heap allocations.
+func (sc *evalScratch) solve(p *Problem) float64 {
+	k := sc.k
+	mat.NNLSGramInto(sc.gram[:k*k], sc.d[:k], sc.x[:k], &sc.ws)
+	resid := sc.resid
+	copy(resid, p.wb)
+	for j := 0; j < k; j++ {
+		xj := sc.x[j]
+		if xj == 0 {
+			continue
+		}
+		for i, v := range sc.cur[j].wcol {
+			resid[i] -= xj * v
+		}
+	}
+	return mat.Norm2(resid)
+}
+
+// makeEval materializes an Eval from slot-aligned positions and stretches.
+// The search paths call it only for compositions that actually enter a
+// top-M list or improve a per-user best, so steady-state evaluations — the
+// overwhelming majority — allocate nothing.
+func makeEval(positions []geom.Point, stretches []float64, obj float64) Eval {
+	return Eval{
+		Positions: append([]geom.Point(nil), positions...),
+		Stretches: append([]float64(nil), stretches...),
+		Objective: obj,
+	}
+}

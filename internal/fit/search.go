@@ -1,0 +1,436 @@
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/rng"
+)
+
+// Searcher owns every reusable buffer of the candidate-composition search:
+// the per-candidate column caches (one arena for all weighted columns), one
+// evalScratch per worker, and the ranking buffers of the conditional scan.
+// A zero-effort NewSearcher is ready to use; the first search sizes the
+// arenas and subsequent searches of similar shape reuse them, which is how
+// the SMC tracker keeps its per-round filtering step allocation-flat: it
+// holds one Searcher for its lifetime and runs every predict/filter round
+// through it.
+//
+// A Searcher must not be used from multiple goroutines concurrently (it
+// spawns and joins its own workers internally; see Options.Workers).
+type Searcher struct {
+	colArena []float64   // backing storage for every candidate's wcol
+	cands    [][]candCol // per-user candidate caches, rebuilt per search
+	scratch  []*evalScratch
+
+	// Conditional-scan buffers, indexed by candidate.
+	objs    []float64
+	stretch []float64
+	order   []int
+
+	// One-shot Evaluate buffers.
+	oneShot  []candCol
+	oneArena []float64
+}
+
+// NewSearcher returns an empty Searcher.
+func NewSearcher() *Searcher { return &Searcher{} }
+
+// growFloats resizes *buf to length n, reusing its capacity when possible.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// Evaluate is Problem.Evaluate running in the Searcher's reusable buffers:
+// after warm-up only the returned Eval allocates. The SMC tracker uses it
+// for the incumbent-position fits that gate its active-set selection.
+func (s *Searcher) Evaluate(p *Problem, positions []geom.Point) (Eval, error) {
+	if len(positions) == 0 {
+		return Eval{}, errors.New("fit: no candidate positions")
+	}
+	n, k := len(p.points), len(positions)
+	if cap(s.oneArena) < k*n {
+		s.oneArena = make([]float64, k*n)
+	}
+	if cap(s.oneShot) < k {
+		s.oneShot = make([]candCol, k)
+	}
+	cc := s.oneShot[:k]
+	for j := range cc {
+		cc[j].wcol = s.oneArena[j*n : (j+1)*n : (j+1)*n]
+		p.fillCandCol(positions[j], &cc[j])
+	}
+	sc := s.scratchSet(1, n, k)[0]
+	sc.setK(k)
+	for j := range cc {
+		sc.setCol(j, &cc[j])
+	}
+	obj := sc.solve(p)
+	return makeEval(positions, sc.x[:k], obj), nil
+}
+
+// Search ranks compositions built from explicit per-user candidate lists,
+// exactly like the package-level SearchCandidates but reusing the
+// Searcher's arenas across calls.
+func (s *Searcher) Search(p *Problem, candidates [][]geom.Point, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if len(candidates) == 0 {
+		return Result{}, errors.New("fit: no users")
+	}
+	for j, c := range candidates {
+		if len(c) == 0 {
+			return Result{}, fmt.Errorf("fit: user %d has no candidates", j)
+		}
+	}
+	if err := s.prepare(p, candidates, opts.Workers); err != nil {
+		return Result{}, err
+	}
+	total := 1
+	overflow := false
+	for _, cs := range candidates {
+		if total > opts.MaxExhaustive/len(cs) {
+			overflow = true
+		} else {
+			total *= len(cs)
+		}
+	}
+	if !overflow && total <= opts.MaxExhaustive {
+		return s.searchExhaustive(p, candidates, total, opts)
+	}
+	return s.searchConditional(p, candidates, opts)
+}
+
+// prepare (re)builds the per-candidate caches. At the paper's 10,000
+// samples per user this loop dominates instant localization, and each
+// column is a pure function of its candidate, so it shards cleanly across
+// workers with results written into index-disjoint slots. All weighted
+// columns live in one arena that survives across searches.
+func (s *Searcher) prepare(p *Problem, candidates [][]geom.Point, workers int) error {
+	n := len(p.points)
+	total := 0
+	for _, cs := range candidates {
+		total += len(cs)
+	}
+	if cap(s.colArena) < total*n {
+		s.colArena = make([]float64, total*n)
+	}
+	arena := s.colArena[:total*n]
+	if cap(s.cands) < len(candidates) {
+		old := s.cands
+		s.cands = make([][]candCol, len(candidates))
+		copy(s.cands, old)
+	}
+	s.cands = s.cands[:len(candidates)]
+	off := 0
+	for j, cs := range candidates {
+		cs := cs
+		if cap(s.cands[j]) < len(cs) {
+			s.cands[j] = make([]candCol, len(cs))
+		}
+		s.cands[j] = s.cands[j][:len(cs)]
+		colj := s.cands[j]
+		for i := range colj {
+			colj[i].wcol = arena[off : off+n : off+n]
+			off += n
+		}
+		if err := parallelFor(len(cs), workers, func(w, i int) error {
+			p.fillCandCol(cs[i], &colj[i])
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scratchSet returns nw worker scratches sized for (n, kMax), growing the
+// pool as needed. Every returned scratch has its composition cache
+// invalidated: the candidate pool may have been rewritten in place since
+// the last search, so cached *candCol pointers must not be trusted across
+// prepare calls.
+func (s *Searcher) scratchSet(nw, n, kMax int) []*evalScratch {
+	for len(s.scratch) < nw {
+		s.scratch = append(s.scratch, &evalScratch{})
+	}
+	set := s.scratch[:nw]
+	for _, sc := range set {
+		sc.ensure(n, kMax)
+	}
+	return set
+}
+
+// searchExhaustive evaluates every composition — the literal filtering step
+// of Algorithm 4.1. Compositions are enumerated by linear index (decoded
+// mixed-radix) and sharded across workers; each worker keeps local top-M
+// and per-user bests that merge deterministically afterwards. The last user
+// varies fastest in the decode, so consecutive evaluations reuse all but
+// one cached Gram row.
+func (s *Searcher) searchExhaustive(p *Problem, candidates [][]geom.Point, total int, opts Options) (Result, error) {
+	k := len(candidates)
+	workers := resolveWorkers(total, opts.Workers)
+	scratches := s.scratchSet(workers, len(p.points), k)
+
+	type partial struct {
+		best        []Eval
+		perUserBest []map[int]Eval
+	}
+	partials := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pt := &partials[w]
+			pt.perUserBest = make([]map[int]Eval, k)
+			for j := range pt.perUserBest {
+				pt.perUserBest[j] = make(map[int]Eval)
+			}
+			sc := scratches[w]
+			sc.setK(k)
+			idx := make([]int, k)
+			positions := make([]geom.Point, k)
+			lo := total * w / workers
+			hi := total * (w + 1) / workers
+			for lin := lo; lin < hi; lin++ {
+				// Decode the linear index into per-user candidate indices.
+				rem := lin
+				for j := k - 1; j >= 0; j-- {
+					idx[j] = rem % len(candidates[j])
+					rem /= len(candidates[j])
+				}
+				for j, i := range idx {
+					sc.setCol(j, &s.cands[j][i])
+				}
+				obj := sc.solve(p)
+
+				// Materialize an Eval only when this composition actually
+				// places: the steady-state path allocates nothing.
+				var ev Eval
+				made := false
+				mk := func() Eval {
+					if !made {
+						for j, i := range idx {
+							positions[j] = candidates[j][i]
+						}
+						ev = makeEval(positions, sc.x[:k], obj)
+						made = true
+					}
+					return ev
+				}
+				if len(pt.best) < opts.TopM || obj < pt.best[len(pt.best)-1].Objective {
+					pt.best = insertTopM(pt.best, mk(), opts.TopM)
+				}
+				for j, i := range idx {
+					if cur, ok := pt.perUserBest[j][i]; !ok || obj < cur.Objective {
+						pt.perUserBest[j][i] = mk()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var best []Eval
+	perUserBest := make([]map[int]Eval, k)
+	for j := range perUserBest {
+		perUserBest[j] = make(map[int]Eval)
+	}
+	for w := range partials {
+		for _, ev := range partials[w].best {
+			best = insertTopM(best, ev, opts.TopM)
+		}
+		for j, m := range partials[w].perUserBest {
+			for i, ev := range m {
+				if cur, ok := perUserBest[j][i]; !ok || ev.Objective < cur.Objective {
+					perUserBest[j][i] = ev
+				}
+			}
+		}
+	}
+
+	res := Result{Best: best, Exhaustive: true, PerUser: make([][]RankedPosition, k)}
+	for j := range perUserBest {
+		res.PerUser[j] = rankFromMap(candidates[j], perUserBest[j], j, opts.TopM)
+	}
+	return res, nil
+}
+
+// searchConditional approximates the exhaustive ranking: users are
+// initialized greedily one at a time (mirroring the recursive briefing of
+// §3.C) and then refined by coordinate sweeps, re-ranking each user's
+// candidates while the other users sit at their incumbent best positions.
+// Multiple restarts with permuted initialization order guard against the
+// local minima of this coordinate descent; the restart with the lowest
+// final objective wins.
+func (s *Searcher) searchConditional(p *Problem, candidates [][]geom.Point, opts Options) (Result, error) {
+	k := len(candidates)
+	restarts := opts.Restarts
+	if k == 1 {
+		restarts = 1 // a single sweep already ranks every candidate exactly
+	}
+	src := rng.New(opts.Seed ^ 0xf1a7)
+
+	var best Result
+	bestObj := math.Inf(1)
+	for attempt := 0; attempt < restarts; attempt++ {
+		order := src.Perm(k)
+		res, err := s.runConditional(p, candidates, order, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		if len(res.Best) > 0 && res.Best[0].Objective < bestObj {
+			best, bestObj = res, res.Best[0].Objective
+		}
+	}
+	return best, nil
+}
+
+// runConditional performs one greedy initialization (in the given user
+// order) followed by refinement sweeps. Rankings are materialized only on
+// the final sweep; earlier passes just move the incumbents.
+func (s *Searcher) runConditional(p *Problem, candidates [][]geom.Point, order []int, opts Options) (Result, error) {
+	k := len(candidates)
+	bestIdx := make([]int, k)
+	assigned := make([]bool, k)
+
+	// Greedy initialization: place users one at a time, each minimizing the
+	// joint objective with the already-placed ones.
+	for _, j := range order {
+		if _, _, err := s.scanUser(p, candidates, bestIdx, assigned, j, opts, false); err != nil {
+			return Result{}, err
+		}
+		assigned[j] = true
+	}
+
+	// Refinement sweeps with full per-user rankings on the final sweep.
+	var res Result
+	res.PerUser = make([][]RankedPosition, k)
+	for sweep := 0; sweep < opts.Sweeps; sweep++ {
+		final := sweep == opts.Sweeps-1
+		for j := 0; j < k; j++ {
+			ranked, bestEval, err := s.scanUser(p, candidates, bestIdx, assigned, j, opts, final)
+			if err != nil {
+				return Result{}, err
+			}
+			if final {
+				res.PerUser[j] = ranked
+				res.Best = insertTopM(res.Best, bestEval, opts.TopM)
+			}
+		}
+	}
+	return res, nil
+}
+
+// scanUser ranks user j's candidates with every other assigned user fixed
+// at its incumbent position, updating bestIdx[j] to the winner. The fixed
+// users occupy the leading scratch slots and user j's candidate the last
+// one, so per candidate only one Gram row is recomputed. When wantRanked is
+// set it returns the topM ranking; when every other user is assigned it
+// also re-evaluates the incumbent composition in user order (so Positions
+// and Stretches align user-by-user for the caller) and returns it.
+func (s *Searcher) scanUser(p *Problem, candidates [][]geom.Point, bestIdx []int, assigned []bool,
+	j int, opts Options, wantRanked bool) ([]RankedPosition, Eval, error) {
+	k := len(candidates)
+	fixed := 0
+	for o := 0; o < k; o++ {
+		if o != j && assigned[o] {
+			fixed++
+		}
+	}
+	kk := fixed + 1
+	nc := len(candidates[j])
+	objs := growFloats(&s.objs, nc)
+	strJ := growFloats(&s.stretch, nc)
+	workers := resolveWorkers(nc, opts.Workers)
+	scratches := s.scratchSet(workers, len(p.points), kk)
+	err := parallelFor(nc, opts.Workers, func(w, i int) error {
+		sc := scratches[w]
+		sc.setK(kk)
+		slot := 0
+		for o := 0; o < k; o++ {
+			if o == j || !assigned[o] {
+				continue
+			}
+			sc.setCol(slot, &s.cands[o][bestIdx[o]]) // no-op after the first candidate
+			slot++
+		}
+		sc.setCol(kk-1, &s.cands[j][i])
+		objs[i] = sc.solve(p)
+		strJ[i] = sc.x[kk-1]
+		return nil
+	})
+	if err != nil {
+		return nil, Eval{}, err
+	}
+
+	bestI := bestIdx[j]
+	bestObj := math.Inf(1)
+	for i := 0; i < nc; i++ {
+		if objs[i] < bestObj {
+			bestObj, bestI = objs[i], i
+		}
+	}
+	bestIdx[j] = bestI
+
+	var ranked []RankedPosition
+	if wantRanked {
+		if cap(s.order) < nc {
+			s.order = make([]int, nc)
+		}
+		ord := s.order[:nc]
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.Slice(ord, func(a, b int) bool {
+			if objs[ord[a]] != objs[ord[b]] {
+				return objs[ord[a]] < objs[ord[b]]
+			}
+			return ord[a] < ord[b]
+		})
+		topM := opts.TopM
+		if topM > nc {
+			topM = nc
+		}
+		ranked = make([]RankedPosition, topM)
+		for t := range ranked {
+			i := ord[t]
+			ranked[t] = RankedPosition{
+				Pos:       candidates[j][i],
+				Index:     i,
+				Stretch:   strJ[i],
+				Objective: objs[i],
+			}
+		}
+	}
+
+	var bestEval Eval
+	allAssigned := true
+	for o := 0; o < k; o++ {
+		if o != j && !assigned[o] {
+			allAssigned = false
+			break
+		}
+	}
+	if allAssigned {
+		sc := scratches[0]
+		sc.setK(k)
+		for o := 0; o < k; o++ {
+			sc.setCol(o, &s.cands[o][bestIdx[o]])
+		}
+		obj := sc.solve(p)
+		positions := make([]geom.Point, k)
+		for o := range positions {
+			positions[o] = candidates[o][bestIdx[o]]
+		}
+		bestEval = makeEval(positions, sc.x[:k], obj)
+	}
+	return ranked, bestEval, nil
+}

@@ -55,7 +55,18 @@ func (m *Model) MinDist() float64 { return m.minDist }
 // MinDist. The kernel is always non-negative because l >= d for points
 // inside the field.
 func (m *Model) Kernel(sink, p geom.Point) float64 {
-	if !m.field.Contains(p) || !m.field.Contains(sink) {
+	if !m.field.Contains(sink) {
+		return 0
+	}
+	return m.kernelSinkInside(sink, p)
+}
+
+// kernelSinkInside is Kernel for a sink already known to lie inside the
+// field. The vectorized evaluators hoist the sink containment check out of
+// their inner loops — the sink is loop-invariant while the observation
+// point varies.
+func (m *Model) kernelSinkInside(sink, p geom.Point) float64 {
+	if !m.field.Contains(p) {
 		return 0
 	}
 	d := sink.Dist(p)
@@ -85,11 +96,27 @@ func (m *Model) FluxAt(sink, p geom.Point, c float64) float64 {
 
 // KernelVector evaluates the kernel at every point in pts for one sink.
 func (m *Model) KernelVector(sink geom.Point, pts []geom.Point) []float64 {
-	out := make([]float64, len(pts))
-	for i, p := range pts {
-		out[i] = m.Kernel(sink, p)
+	return m.KernelVectorInto(sink, pts, make([]float64, len(pts)))
+}
+
+// KernelVectorInto evaluates the kernel at every point in pts for one sink
+// into the caller-supplied destination, which must have length len(pts),
+// and returns it. It is the allocation-free hook the candidate search uses
+// to build its per-candidate column caches.
+func (m *Model) KernelVectorInto(sink geom.Point, pts []geom.Point, dst []float64) []float64 {
+	if len(dst) != len(pts) {
+		panic(fmt.Sprintf("fluxmodel: KernelVectorInto destination length %d, want %d", len(dst), len(pts)))
 	}
-	return out
+	if !m.field.Contains(sink) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	for i, p := range pts {
+		dst[i] = m.kernelSinkInside(sink, p)
+	}
+	return dst
 }
 
 // PredictFlux returns the model's combined flux prediction at each point of
@@ -102,11 +129,11 @@ func (m *Model) PredictFlux(sinks []geom.Point, cs []float64, pts []geom.Point) 
 	}
 	out := make([]float64, len(pts))
 	for j, sink := range sinks {
-		if cs[j] == 0 {
+		if cs[j] == 0 || !m.field.Contains(sink) {
 			continue
 		}
 		for i, p := range pts {
-			out[i] += cs[j] * m.Kernel(sink, p)
+			out[i] += cs[j] * m.kernelSinkInside(sink, p)
 		}
 	}
 	return out, nil

@@ -329,3 +329,49 @@ func BenchmarkPredictFlux90Nodes3Users(b *testing.B) {
 		}
 	}
 }
+
+// TestKernelVectorInto: the allocation-free form matches KernelVector
+// exactly, including the outside-sink and outside-point zero cases.
+func TestKernelVectorInto(t *testing.T) {
+	m := mustModel(t, geom.Square(30), 0.6)
+	src := rng.New(42)
+	pts := make([]geom.Point, 40)
+	for i := range pts {
+		pts[i] = src.InRect(m.Field())
+	}
+	pts[7] = geom.Pt(-3, 5) // outside the field: kernel must be zero there
+	dst := make([]float64, len(pts))
+	for _, sink := range []geom.Point{geom.Pt(4, 9), geom.Pt(29.5, 0.5), geom.Pt(-1, 10)} {
+		want := m.KernelVector(sink, pts)
+		got := m.KernelVectorInto(sink, pts, dst)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sink %v: KernelVectorInto[%d] = %v, KernelVector = %v", sink, i, got[i], want[i])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("KernelVectorInto with mismatched destination must panic")
+		}
+	}()
+	m.KernelVectorInto(geom.Pt(1, 1), pts, make([]float64, 3))
+}
+
+// TestKernelVectorIntoNoAllocs guards the hoisted-sink-check fast path.
+func TestKernelVectorIntoNoAllocs(t *testing.T) {
+	m := mustModel(t, geom.Square(30), 0.6)
+	src := rng.New(7)
+	pts := make([]geom.Point, 64)
+	for i := range pts {
+		pts[i] = src.InRect(m.Field())
+	}
+	dst := make([]float64, len(pts))
+	sink := geom.Pt(12, 18)
+	allocs := testing.AllocsPerRun(50, func() {
+		m.KernelVectorInto(sink, pts, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("KernelVectorInto allocates %.1f times per call, want 0", allocs)
+	}
+}

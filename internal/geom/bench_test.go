@@ -1,0 +1,40 @@
+package geom
+
+import "testing"
+
+// benchSink prevents the compiler from eliding the benchmarked calls.
+var benchSink float64
+
+// BenchmarkBoundaryDistThrough measures the ray-boundary intersection that
+// sits inside every kernel evaluation of the flux model: one call per
+// (candidate, sample point) pair, millions per localization run.
+func BenchmarkBoundaryDistThrough(b *testing.B) {
+	r := Square(1000)
+	origins := [...]Point{Pt(500, 500), Pt(10, 990), Pt(730, 40), Pt(250, 666)}
+	vias := [...]Point{Pt(3, 3), Pt(999, 500), Pt(500, 1), Pt(123, 456)}
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		l, ok := r.BoundaryDistThrough(origins[i%len(origins)], vias[(i+1)%len(vias)])
+		if ok {
+			acc += l
+		}
+	}
+	benchSink = acc
+}
+
+// BenchmarkRayExit isolates the primitive underneath BoundaryDistThrough.
+func BenchmarkRayExit(b *testing.B) {
+	r := Square(1000)
+	dirs := [...]Vec{{DX: 1, DY: 0.3}, {DX: -0.2, DY: 1}, {DX: -1, DY: -1}, {DX: 0.8, DY: -0.1}}
+	origin := Pt(400, 600)
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		l, ok := r.RayExit(origin, dirs[i%len(dirs)])
+		if ok {
+			acc += l
+		}
+	}
+	benchSink = acc
+}

@@ -105,12 +105,17 @@ type userState struct {
 	hasPrevMean bool
 }
 
-// Tracker runs Algorithm 4.1 over a stream of flux observations.
+// Tracker runs Algorithm 4.1 over a stream of flux observations. It is not
+// safe for concurrent use: each tracker owns its RNG stream and a reusable
+// fit.Searcher whose candidate-column arenas and per-worker scratches are
+// shared by every round's incumbent fits and composition searches, keeping
+// the steady-state filtering step allocation-flat.
 type Tracker struct {
-	cfg   Config
-	users []userState
-	src   *rng.Source
-	steps int
+	cfg      Config
+	users    []userState
+	src      *rng.Source
+	steps    int
+	searcher *fit.Searcher
 }
 
 // Estimate is one user's per-round output.
@@ -154,9 +159,10 @@ func New(cfg Config, seed uint64) (*Tracker, error) {
 		return nil, fmt.Errorf("smc: M (%d) must not exceed N (%d)", cfg.M, cfg.N)
 	}
 	tr := &Tracker{
-		cfg:   cfg,
-		users: make([]userState, cfg.NumUsers),
-		src:   rng.New(seed),
+		cfg:      cfg,
+		users:    make([]userState, cfg.NumUsers),
+		src:      rng.New(seed),
+		searcher: fit.NewSearcher(),
 	}
 	return tr, nil
 }
@@ -223,7 +229,7 @@ func (tr *Tracker) selectActive(prob *fit.Problem, t float64) ([]int, error) {
 	for i, j := range initialized {
 		positions[i] = tr.users[j].samples[0]
 	}
-	ev, err := prob.Evaluate(positions)
+	ev, err := tr.searcher.Evaluate(prob, positions)
 	if err != nil {
 		return nil, fmt.Errorf("smc: incumbent fit: %w", err)
 	}
@@ -299,7 +305,7 @@ func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int) (StepR
 	// Filtering phase: rank compositions by NLS objective.
 	searchOpts := tr.cfg.Search
 	searchOpts.TopM = maxInt(tr.cfg.M, searchOpts.TopM)
-	res, err := fit.SearchCandidates(prob, candidates, searchOpts)
+	res, err := tr.searcher.Search(prob, candidates, searchOpts)
 	if err != nil {
 		return StepResult{}, err
 	}

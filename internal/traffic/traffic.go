@@ -9,6 +9,7 @@ package traffic
 
 import (
 	"fmt"
+	"sync"
 
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/network"
@@ -26,8 +27,17 @@ type User struct {
 // Simulator computes ground-truth per-node flux for sets of users over a
 // fixed network. It caches collection trees by sink node, since users that
 // attach to the same nearest node induce identical tree shapes.
+//
+// A Simulator is safe for concurrent use: the tree cache is guarded by a
+// mutex, and tree construction is deterministic, so whichever goroutine
+// populates a sink's entry produces the same tree. The per-worker trial
+// pattern in internal/exp gives each trial its own Simulator anyway, but
+// sharing one across goroutines (e.g. to amortize tree building across
+// trials on the same network) must not be a data race.
 type Simulator struct {
-	net       *network.Network
+	net *network.Network
+
+	mu        sync.Mutex
 	treeCache map[int]*routing.Tree
 }
 
@@ -40,7 +50,11 @@ func NewSimulator(net *network.Network) *Simulator {
 func (s *Simulator) Network() *network.Network { return s.net }
 
 // tree returns the (cached) collection tree rooted at the given sink node.
+// The lock is held across the build so concurrent callers asking for the
+// same sink share one construction instead of racing on the map.
 func (s *Simulator) tree(sink int) (*routing.Tree, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if t, ok := s.treeCache[sink]; ok {
 		return t, nil
 	}

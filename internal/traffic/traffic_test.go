@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -265,6 +266,58 @@ func BenchmarkFluxThreeUsers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Flux(users); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestSimulatorConcurrentFlux exercises the shared tree cache from many
+// goroutines at once — the pattern a shared Simulator across trial workers
+// produces. Run under -race (CI does) this is the regression guard for the
+// treeCache map; every goroutine must also observe exactly the sequential
+// flux vectors.
+func TestSimulatorConcurrentFlux(t *testing.T) {
+	net := paperNetwork(t, 5)
+	src := rng.New(99)
+	userSets := make([][]User, 8)
+	for i := range userSets {
+		userSets[i] = RandomUsers(net.Field(), 1+i%3, 1, 3, src)
+	}
+	// Sequential reference on a fresh simulator.
+	ref := NewSimulator(net)
+	want := make([][]float64, len(userSets))
+	for i, us := range userSets {
+		var err error
+		if want[i], err = ref.Flux(us); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	shared := NewSimulator(net)
+	const goroutines = 8
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			for rep := 0; rep < 5; rep++ {
+				for i, us := range userSets {
+					got, err := shared.Flux(us)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := range got {
+						if got[j] != want[i][j] {
+							errs <- fmt.Errorf("goroutine %d: flux[%d][%d] = %v, want %v", g, i, j, got[j], want[i][j])
+							return
+						}
+					}
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
 		}
 	}
 }
