@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"fluxtrack/internal/core"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/mobility"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/smc"
+	"fluxtrack/internal/stats"
+	"fluxtrack/internal/traffic"
+)
+
+// latencyReport is the schema written by `fluxbench latency -json`: the
+// per-Step wall-time distribution of the SMC tracker at each worker count,
+// over an identical precomputed observation stream.
+type latencyReport struct {
+	Users      int            `json:"users"`
+	TrackN     int            `json:"track_n"`
+	Samples    int            `json:"sample_nodes"`
+	Rounds     int            `json:"rounds"`
+	Repeats    int            `json:"repeats"`
+	Seed       uint64         `json:"seed"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	GoVersion  string         `json:"go_version"`
+	Entries    []latencyEntry `json:"entries"`
+}
+
+type latencyEntry struct {
+	Workers int     `json:"workers"`
+	Steps   int     `json:"steps"`
+	P50ms   float64 `json:"p50_ms"`
+	P95ms   float64 `json:"p95_ms"`
+	MeanMs  float64 `json:"mean_ms"`
+	TotalS  float64 `json:"total_seconds"`
+	Speedup float64 `json:"speedup_vs_serial"` // serial mean / this mean
+}
+
+// runLatency benchmarks Tracker.Step wall time against the worker count.
+// Every worker count replays the same observation stream through a fresh
+// tracker built from the same seed, so the runs do identical numerical work
+// (the worker-invariance tests prove identical output); only the intra-step
+// scheduling differs.
+func runLatency(args []string) error {
+	fs := flag.NewFlagSet("fluxbench latency", flag.ContinueOnError)
+	var (
+		users   = fs.Int("users", 3, "number of tracked users")
+		trackN  = fs.Int("trackn", 1000, "SMC prediction samples per user per round")
+		samples = fs.Int("samples", 90, "number of sniffed nodes")
+		rounds  = fs.Int("rounds", 10, "observation rounds per repeat")
+		repeats = fs.Int("repeats", 3, "fresh-tracker repeats per worker count")
+		seed    = fs.Uint64("seed", 1, "base seed for scenario, walks, and tracker")
+		list    = fs.String("workers", "1,2,4,8", "comma-separated worker counts (0 = GOMAXPROCS)")
+		jsonOut = fs.String("json", "", "write a JSON latency report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	workerCounts, err := parseWorkerList(*list)
+	if err != nil {
+		return err
+	}
+
+	// Build the world once: scenario, sniffer, random walks, and the full
+	// observation stream. Precomputing the observations keeps traffic
+	// simulation out of the timed region — only Tracker.Step is measured.
+	src := rng.New(*seed)
+	sc, err := core.NewScenario(core.ScenarioConfig{}, src)
+	if err != nil {
+		return err
+	}
+	sniffer, err := sc.NewSnifferCount(*samples, src)
+	if err != nil {
+		return err
+	}
+	walks := make([]mobility.Trajectory, *users)
+	stretches := make([]float64, *users)
+	for i := range walks {
+		w, err := mobility.NewRandomWalk(sc.Field(), src.InRect(sc.Field()), 4, *rounds+1, src)
+		if err != nil {
+			return err
+		}
+		walks[i] = w
+		stretches[i] = src.Uniform(1, 3)
+	}
+	obs := make([][]float64, *rounds)
+	for r := range obs {
+		t := float64(r + 1)
+		us := make([]traffic.User, *users)
+		for i, w := range walks {
+			us[i] = traffic.User{Pos: sc.Field().Clamp(w.At(t)), Stretch: stretches[i], Active: true}
+		}
+		o, err := sniffer.Observe(us, 0, src)
+		if err != nil {
+			return err
+		}
+		obs[r] = o
+	}
+
+	report := latencyReport{
+		Users: *users, TrackN: *trackN, Samples: *samples,
+		Rounds: *rounds, Repeats: *repeats, Seed: *seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+
+	newTracker := func(workers int) (*smc.Tracker, error) {
+		return sniffer.NewTracker(*users, core.TrackerConfig{
+			N: *trackN, M: 10, VMax: 5, Workers: workers,
+		}, *seed+101)
+	}
+
+	var serialMean float64
+	var refMean geom.Point // final first-user estimate at the first worker count
+	fmt.Printf("%8s %10s %10s %10s %10s %9s\n",
+		"workers", "steps", "p50 ms", "p95 ms", "mean ms", "speedup")
+	for wi, workers := range workerCounts {
+		durations := make([]float64, 0, *rounds**repeats)
+		var last smc.StepResult
+		start := time.Now()
+		for rep := 0; rep < *repeats; rep++ {
+			tr, err := newTracker(workers)
+			if err != nil {
+				return err
+			}
+			for r, o := range obs {
+				t0 := time.Now()
+				res, err := tr.Step(float64(r+1), o)
+				if err != nil {
+					return err
+				}
+				durations = append(durations, time.Since(t0).Seconds()*1e3)
+				last = res
+			}
+		}
+		total := time.Since(start).Seconds()
+
+		// Cheap cross-check of the worker-invariance contract on top of the
+		// unit tests: the final estimate must not depend on the worker count.
+		if wi == 0 {
+			refMean = last.Estimates[0].Mean
+		} else if last.Estimates[0].Mean != refMean {
+			return fmt.Errorf("latency: workers=%d diverged from workers=%d output",
+				workers, workerCounts[0])
+		}
+
+		sort.Float64s(durations)
+		entry := latencyEntry{
+			Workers: workers,
+			Steps:   len(durations),
+			P50ms:   stats.Percentile(durations, 50),
+			P95ms:   stats.Percentile(durations, 95),
+			MeanMs:  stats.Mean(durations),
+			TotalS:  total,
+		}
+		if wi == 0 {
+			serialMean = entry.MeanMs
+		}
+		if entry.MeanMs > 0 {
+			entry.Speedup = serialMean / entry.MeanMs
+		}
+		report.Entries = append(report.Entries, entry)
+		fmt.Printf("%8d %10d %10.2f %10.2f %10.2f %8.2fx\n",
+			workers, entry.Steps, entry.P50ms, entry.P95ms, entry.MeanMs, entry.Speedup)
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote latency report to %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// parseWorkerList parses "1,2,4,8" into worker counts.
+func parseWorkerList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("latency: bad -workers entry %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("latency: empty -workers list")
+	}
+	return out, nil
+}

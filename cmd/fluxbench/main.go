@@ -18,7 +18,14 @@
 //	fluxbench -quick -memprofile mem.out    # heap profile at exit
 //	fluxbench compare old.json new.json     # speedup table between two -json reports
 //
-// Tables are byte-identical for every -workers value (see internal/exp).
+// Tracker latency:
+//
+//	fluxbench latency                        # Step wall-time p50/p95 vs worker count
+//	fluxbench latency -workers 1,8 -json latency.json
+//
+// Tables are byte-identical for every -workers value (see internal/exp),
+// and so is tracker output (see internal/smc): -workers trades wall time
+// only, never results.
 package main
 
 import (
@@ -70,6 +77,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "compare" {
 		return runCompare(args[1:])
 	}
+	if len(args) > 0 && args[0] == "latency" {
+		return runLatency(args[1:])
+	}
 	fs := flag.NewFlagSet("fluxbench", flag.ContinueOnError)
 	var (
 		quick   = fs.Bool("quick", false, "use the reduced-effort configuration")
@@ -80,7 +90,7 @@ func run(args []string) error {
 		samples = fs.Int("samples", 0, "override the localization candidate count")
 		trackN  = fs.Int("trackn", 0, "override the SMC prediction sample count")
 		rounds  = fs.Int("rounds", 0, "override the tracking round count")
-		workers = fs.Int("workers", 0, "trial worker count (0 = one per CPU, 1 = sequential)")
+		workers = fs.Int("workers", 0, "worker count for trials, NLS search, and tracker steps (0 = one per CPU, 1 = sequential)")
 		jsonOut = fs.String("json", "", "write a JSON benchmark report to this file")
 		chart   = fs.Bool("chart", false, "render an ASCII bar chart per table column")
 		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")

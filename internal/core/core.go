@@ -230,6 +230,10 @@ type TrackerConfig struct {
 	UniformWeights    bool // disable §4.D importance weighting (ablation)
 	ActiveSetLimit    int  // cap on users searched per round (§5.C regime)
 	HeadingPrediction bool // §4.C refinement: dead-reckoned prediction discs
+	// Workers bounds the goroutines inside one tracker round (prediction,
+	// candidate scoring, update); 0 means GOMAXPROCS, 1 forces serial.
+	// Output is identical at any value (see smc.Config.Workers).
+	Workers int
 }
 
 // NewTracker builds a Sequential Monte Carlo tracker (Algorithm 4.1) that
@@ -246,5 +250,6 @@ func (sn *Sniffer) NewTracker(numUsers int, cfg TrackerConfig, seed uint64) (*sm
 		UniformWeights:    cfg.UniformWeights,
 		ActiveSetLimit:    cfg.ActiveSetLimit,
 		HeadingPrediction: cfg.HeadingPrediction,
+		Workers:           cfg.Workers,
 	}, seed)
 }

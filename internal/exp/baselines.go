@@ -54,6 +54,7 @@ func BaselineEKF(cfg Config) (Table, error) {
 		// SMC tracker (blind initialization, as always).
 		tracker, err := sniffer.NewTracker(1, core.TrackerConfig{
 			N: cfg.TrackN, M: cfg.TrackM, VMax: 5, Search: cfg.trackerSearch(),
+			Workers: cfg.Workers,
 		}, seed+1)
 		if err != nil {
 			return trialErrs{}, err
@@ -183,7 +184,7 @@ func AblationHeading(cfg Config) (Table, error) {
 		}
 		tracker, err := sniffer.NewTracker(1, core.TrackerConfig{
 			N: cfg.TrackN, M: cfg.TrackM, VMax: 5, HeadingPrediction: heading,
-			Search: cfg.trackerSearch(),
+			Search: cfg.trackerSearch(), Workers: cfg.Workers,
 		}, seed+1)
 		if err != nil {
 			return headingTrial{}, err

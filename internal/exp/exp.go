@@ -69,10 +69,12 @@ type Config struct {
 	TrackN  int    // SMC prediction samples per user per round
 	TrackM  int    // SMC kept representatives
 	Rounds  int    // tracking rounds per trial
-	// Workers bounds the goroutines running (cell, trial) units and the
-	// inner candidate-scoring loops of the NLS search. 0 means one worker
-	// per CPU (GOMAXPROCS); 1 forces the exact sequential legacy path. Every
-	// value produces byte-identical tables — see parallel.go.
+	// Workers bounds the goroutines running (cell, trial) units, the inner
+	// candidate-scoring loops of the NLS search, and every intra-step phase
+	// of the SMC tracker (prediction, filtering, update — see
+	// smc.Config.Workers). 0 means one worker per CPU (GOMAXPROCS); 1
+	// forces the exact sequential legacy path. Every value produces
+	// byte-identical tables — see parallel.go.
 	Workers int
 }
 

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"fluxtrack/internal/geom"
+	"fluxtrack/internal/mobility"
+	"fluxtrack/internal/rng"
 )
 
 func TestTableRender(t *testing.T) {
@@ -150,6 +152,56 @@ func TestQuickTrackingSmoke(t *testing.T) {
 	}
 	if len(tbl.Rows) != 2 {
 		t.Fatalf("ablation-importance has %d rows, want 2", len(tbl.Rows))
+	}
+}
+
+// TestTrackingAccuracyNoiseBand pins the fig7/fig8 error metrics to a
+// generous statistical band. The per-user RNG substreams shifted the exact
+// golden values once (each user now draws from its own deterministic
+// stream), so this checks what the goldens cannot: tracking accuracy itself
+// stayed in the regime the paper reports. A fig7-style single user on a
+// straight line must end well-converged, and a fig8-style random-walk pair
+// at 10% sampling must stay inside the plausible error range.
+func TestTrackingAccuracyNoiseBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy noise-band test skipped in -short mode")
+	}
+	cfg := QuickConfig()
+	cfg.Trials = 1
+	cfg.Rounds = 6
+	seed := cfg.trialSeed("noiseband", 0, 0)
+
+	// fig7(a) shape: one user, straight trajectory, full-network flux.
+	sc := mustScenario(defaultScenarioCfg(), seed)
+	src := rng.New(seed + 17)
+	trajs := []mobility.Trajectory{
+		mobility.Linear{Start: geom.Pt(4, 15), V: geom.Vec{DX: 2, DY: 0.5}},
+	}
+	perRound, err := trackTrial(cfg, sc, trajs, sc.Network().Len(), 5, false, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := perRound[len(perRound)-1]
+	if final > 2.5 {
+		t.Errorf("fig7-style single-user final error %.2f, want <= 2.5 (paper: < 2); all rounds: %v",
+			final, perRound)
+	}
+
+	// fig8(a) shape: two random walkers at 10% sampling.
+	sc2 := mustScenario(defaultScenarioCfg(), seed+1)
+	src2 := rng.New(seed + 18)
+	walks, err := randomWalks(sc2, 2, 4, cfg.Rounds, src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRound2, err := trackTrial(cfg, sc2, walks, sc2.Network().Len()/10, 5, false, src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final2 := perRound2[len(perRound2)-1]
+	if final2 < 0 || final2 > 12 {
+		t.Errorf("fig8-style two-user final error %.2f outside plausible band [0, 12]; all rounds: %v",
+			final2, perRound2)
 	}
 }
 

@@ -27,7 +27,7 @@ func trackTrial(cfg Config, sc *core.Scenario, trajectories []mobility.Trajector
 	}
 	tracker, err := sniffer.NewTracker(k, core.TrackerConfig{
 		N: cfg.TrackN, M: cfg.TrackM, VMax: vmax, UniformWeights: uniformWeights,
-		Search: cfg.trackerSearch(),
+		Search: cfg.trackerSearch(), Workers: cfg.Workers,
 	}, src.Uint64())
 	if err != nil {
 		return nil, err

@@ -17,12 +17,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"fluxtrack/internal/fluxmodel"
 	"fluxtrack/internal/geom"
+	"fluxtrack/internal/par"
 	"fluxtrack/internal/rng"
 )
 
@@ -237,58 +236,12 @@ func SearchCandidates(p *Problem, candidates [][]geom.Point, opts Options) (Resu
 	return NewSearcher().Search(p, candidates, opts)
 }
 
-// resolveWorkers returns the worker count parallelFor will actually use for
-// n independent units: GOMAXPROCS when workers <= 0, never more than n,
-// never less than 1.
-func resolveWorkers(n, workers int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
+// resolveWorkers and parallelFor delegate to the shared fork-join helper in
+// internal/par; the SMC tracker's per-user phases run on the same machinery.
+func resolveWorkers(n, workers int) int { return par.Resolve(n, workers) }
 
-// parallelFor runs fn(w, i) for every i in [0, n) on up to workers
-// goroutines (GOMAXPROCS when workers <= 0). The worker index w identifies
-// which of the resolveWorkers(n, workers) contiguous shards is running, so
-// callers can hand each worker its own scratch state. The first
-// (lowest-shard) error wins; fn invocations must be independent.
 func parallelFor(n, workers int, fn func(w, i int) error) error {
-	if n == 0 {
-		return nil
-	}
-	workers = resolveWorkers(n, workers)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(0, i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			lo := n * w / workers
-			hi := n * (w + 1) / workers
-			for i := lo; i < hi; i++ {
-				if err := fn(w, i); err != nil {
-					errs[w] = err
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	return errors.Join(errs...)
+	return par.For(n, workers, fn)
 }
 
 // insertTopM inserts ev into the ascending-by-objective slice best, keeping
@@ -305,28 +258,6 @@ func insertTopM(best []Eval, ev Eval, m int) []Eval {
 		best = best[:m]
 	}
 	return best
-}
-
-func rankFromMap(cands []geom.Point, m map[int]Eval, user, topM int) []RankedPosition {
-	ranked := make([]RankedPosition, 0, len(m))
-	for i, ev := range m {
-		ranked = append(ranked, RankedPosition{
-			Pos:       cands[i],
-			Index:     i,
-			Stretch:   ev.Stretches[user],
-			Objective: ev.Objective,
-		})
-	}
-	sort.Slice(ranked, func(a, b int) bool {
-		if ranked[a].Objective != ranked[b].Objective {
-			return ranked[a].Objective < ranked[b].Objective
-		}
-		return ranked[a].Index < ranked[b].Index
-	})
-	if len(ranked) > topM {
-		ranked = ranked[:topM]
-	}
-	return ranked
 }
 
 // MeanPosition returns the average of the ranked positions, the "report of

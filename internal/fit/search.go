@@ -32,6 +32,9 @@ type Searcher struct {
 	stretch []float64
 	order   []int
 
+	// Exhaustive-scan per-(worker, candidate) best objective/stretch pairs.
+	bestArena []float64
+
 	// One-shot Evaluate buffers.
 	oneShot  []candCol
 	oneArena []float64
@@ -53,6 +56,16 @@ func growFloats(buf *[]float64, n int) []float64 {
 // after warm-up only the returned Eval allocates. The SMC tracker uses it
 // for the incumbent-position fits that gate its active-set selection.
 func (s *Searcher) Evaluate(p *Problem, positions []geom.Point) (Eval, error) {
+	return s.EvaluateWorkers(p, positions, 1)
+}
+
+// EvaluateWorkers is Evaluate with the per-position kernel columns computed
+// on up to workers goroutines (each column is a pure function of its
+// position, written into an index-disjoint arena slot, so the result is
+// worker-count-invariant). The SMC tracker's incumbent fit runs here with
+// one column per tracked user — in the §5.C many-user regime that is the
+// widest loop of an idle round.
+func (s *Searcher) EvaluateWorkers(p *Problem, positions []geom.Point, workers int) (Eval, error) {
 	if len(positions) == 0 {
 		return Eval{}, errors.New("fit: no candidate positions")
 	}
@@ -64,9 +77,12 @@ func (s *Searcher) Evaluate(p *Problem, positions []geom.Point) (Eval, error) {
 		s.oneShot = make([]candCol, k)
 	}
 	cc := s.oneShot[:k]
-	for j := range cc {
+	if err := parallelFor(k, workers, func(_, j int) error {
 		cc[j].wcol = s.oneArena[j*n : (j+1)*n : (j+1)*n]
 		p.fillCandCol(positions[j], &cc[j])
+		return nil
+	}); err != nil {
+		return Eval{}, err
 	}
 	sc := s.scratchSet(1, n, k)[0]
 	sc.setK(k)
@@ -173,14 +189,40 @@ func (s *Searcher) scratchSet(nw, n, kMax int) []*evalScratch {
 // and per-user bests that merge deterministically afterwards. The last user
 // varies fastest in the decode, so consecutive evaluations reuse all but
 // one cached Gram row.
+//
+// Per-user bests live in flat per-worker (objective, stretch) arrays in the
+// Searcher's arena, not in maps of materialized Evals: every candidate's
+// best composition improves many times over the scan, and map inserts plus
+// an Eval allocation per improvement used to make the exhaustive path
+// allocate O(total candidates) per call. Now only compositions entering the
+// global top-M materialize, which is what keeps a steady-state tracker Step
+// allocation-flat in N.
 func (s *Searcher) searchExhaustive(p *Problem, candidates [][]geom.Point, total int, opts Options) (Result, error) {
 	k := len(candidates)
 	workers := resolveWorkers(total, opts.Workers)
 	scratches := s.scratchSet(workers, len(p.points), k)
 
+	nCands := 0
+	for _, cs := range candidates {
+		nCands += len(cs)
+	}
+	// Two floats per (worker, candidate): best objective and the user's
+	// fitted stretch in that composition, +Inf objective meaning unseen.
+	if cap(s.bestArena) < 2*workers*nCands {
+		s.bestArena = make([]float64, 2*workers*nCands)
+	}
+	arena := s.bestArena[:2*workers*nCands]
+	workerObjs := func(w, j int) ([]float64, []float64) {
+		off := w * 2 * nCands
+		for o := 0; o < j; o++ {
+			off += 2 * len(candidates[o])
+		}
+		nc := len(candidates[j])
+		return arena[off : off+nc : off+nc], arena[off+nc : off+2*nc : off+2*nc]
+	}
+
 	type partial struct {
-		best        []Eval
-		perUserBest []map[int]Eval
+		best []Eval
 	}
 	partials := make([]partial, workers)
 	var wg sync.WaitGroup
@@ -189,9 +231,14 @@ func (s *Searcher) searchExhaustive(p *Problem, candidates [][]geom.Point, total
 		go func(w int) {
 			defer wg.Done()
 			pt := &partials[w]
-			pt.perUserBest = make([]map[int]Eval, k)
-			for j := range pt.perUserBest {
-				pt.perUserBest[j] = make(map[int]Eval)
+			objsByUser := make([][]float64, k)
+			strsByUser := make([][]float64, k)
+			for j := range objsByUser {
+				objs, strs := workerObjs(w, j)
+				for i := range objs {
+					objs[i] = math.Inf(1)
+				}
+				objsByUser[j], strsByUser[j] = objs, strs
 			}
 			sc := scratches[w]
 			sc.setK(k)
@@ -211,26 +258,18 @@ func (s *Searcher) searchExhaustive(p *Problem, candidates [][]geom.Point, total
 				}
 				obj := sc.solve(p)
 
-				// Materialize an Eval only when this composition actually
-				// places: the steady-state path allocates nothing.
-				var ev Eval
-				made := false
-				mk := func() Eval {
-					if !made {
-						for j, i := range idx {
-							positions[j] = candidates[j][i]
-						}
-						ev = makeEval(positions, sc.x[:k], obj)
-						made = true
-					}
-					return ev
-				}
+				// Materialize an Eval only when this composition enters the
+				// top-M: the steady-state path allocates nothing.
 				if len(pt.best) < opts.TopM || obj < pt.best[len(pt.best)-1].Objective {
-					pt.best = insertTopM(pt.best, mk(), opts.TopM)
+					for j, i := range idx {
+						positions[j] = candidates[j][i]
+					}
+					pt.best = insertTopM(pt.best, makeEval(positions, sc.x[:k], obj), opts.TopM)
 				}
 				for j, i := range idx {
-					if cur, ok := pt.perUserBest[j][i]; !ok || obj < cur.Objective {
-						pt.perUserBest[j][i] = mk()
+					if obj < objsByUser[j][i] {
+						objsByUser[j][i] = obj
+						strsByUser[j][i] = sc.x[j]
 					}
 				}
 			}
@@ -239,28 +278,68 @@ func (s *Searcher) searchExhaustive(p *Problem, candidates [][]geom.Point, total
 	wg.Wait()
 
 	var best []Eval
-	perUserBest := make([]map[int]Eval, k)
-	for j := range perUserBest {
-		perUserBest[j] = make(map[int]Eval)
-	}
 	for w := range partials {
 		for _, ev := range partials[w].best {
 			best = insertTopM(best, ev, opts.TopM)
 		}
-		for j, m := range partials[w].perUserBest {
-			for i, ev := range m {
-				if cur, ok := perUserBest[j][i]; !ok || ev.Objective < cur.Objective {
-					perUserBest[j][i] = ev
+	}
+	// Merge worker bests into worker 0's arrays, ascending worker order with
+	// strict improvement — ties keep the lowest worker, i.e. the lowest
+	// linear index, exactly as the sequential scan would.
+	for w := 1; w < workers; w++ {
+		for j := 0; j < k; j++ {
+			objs0, strs0 := workerObjs(0, j)
+			objsW, strsW := workerObjs(w, j)
+			for i := range objs0 {
+				if objsW[i] < objs0[i] {
+					objs0[i] = objsW[i]
+					strs0[i] = strsW[i]
 				}
 			}
 		}
 	}
 
 	res := Result{Best: best, Exhaustive: true, PerUser: make([][]RankedPosition, k)}
-	for j := range perUserBest {
-		res.PerUser[j] = rankFromMap(candidates[j], perUserBest[j], j, opts.TopM)
+	for j := 0; j < k; j++ {
+		objs, strs := workerObjs(0, j)
+		res.PerUser[j] = s.rankFromSlices(candidates[j], objs, strs, opts.TopM)
 	}
 	return res, nil
+}
+
+// rankFromSlices builds a user's top-M ranking from the per-candidate best
+// objective and stretch arrays, ordering by (objective, index) like the
+// conditional scan does. Unseen candidates (+Inf) cannot occur after a full
+// exhaustive scan but are sorted last defensively.
+func (s *Searcher) rankFromSlices(cands []geom.Point, objs, strs []float64, topM int) []RankedPosition {
+	nc := len(cands)
+	if cap(s.order) < nc {
+		s.order = make([]int, nc)
+	}
+	ord := s.order[:nc]
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		if objs[ord[a]] != objs[ord[b]] {
+			return objs[ord[a]] < objs[ord[b]]
+		}
+		return ord[a] < ord[b]
+	})
+	if topM > nc {
+		topM = nc
+	}
+	ranked := make([]RankedPosition, topM)
+	for t := range ranked {
+		i := ord[t]
+		ranked[t] = RankedPosition{
+			Pos:       cands[i],
+			Index:     i,
+			Stretch:   strs[i],
+			Objective: objs[i],
+		}
+	}
+	return ranked
 }
 
 // searchConditional approximates the exhaustive ranking: users are

@@ -54,6 +54,11 @@ func (m *Model) MinDist() float64 { return m.minDist }
 // 0 when p is outside the field (no sensor, no flux) and clamps d at
 // MinDist. The kernel is always non-negative because l >= d for points
 // inside the field.
+//
+// Kernel is the generic reference implementation (one Hypot, one RayExit
+// with unit-vector normalization per call). The vectorized evaluators below
+// use the fused closed-form path instead; the equivalence suite in
+// fluxmodel_test.go pins the two together.
 func (m *Model) Kernel(sink, p geom.Point) float64 {
 	if !m.field.Contains(sink) {
 		return 0
@@ -94,6 +99,45 @@ func (m *Model) FluxAt(sink, p geom.Point, c float64) float64 {
 	return c * m.Kernel(sink, p)
 }
 
+// kernelFused evaluates the kernel at p for a sink known to lie inside the
+// field, using the fused closed-form boundary parameter instead of a RayExit
+// call. With v = p − sink, |v| = d, the slab parameter τ = slabs.Scale(v)
+// satisfies l = τ·d, so
+//
+//	g = (l² − d²) / (2d) = d (τ² − 1) / 2
+//
+// — one sqrt for d, two divisions inside Scale, no unit-vector
+// normalization, no second sqrt for l. The slabs must be m.field.SlabsAt(sink),
+// hoisted out of the caller's loop because they are sink-invariant. The
+// MinDist clamp and the l >= d guard fall back to the explicit (l² − d²)/(2d)
+// form, mirroring the generic path's clamp ordering exactly.
+func (m *Model) kernelFused(slabs geom.ExitSlabs, sink, p geom.Point) float64 {
+	if !m.field.Contains(p) {
+		return 0
+	}
+	dx, dy := p.X-sink.X, p.Y-sink.Y
+	tau := slabs.Scale(dx, dy)
+	if math.IsInf(tau, 1) {
+		// p coincides with the sink: take the generic fallback direction.
+		return m.kernelSinkInside(sink, p)
+	}
+	d := math.Sqrt(dx*dx + dy*dy)
+	if d >= m.minDist && tau >= 1 {
+		return d * (tau*tau - 1) / 2
+	}
+	// Clamped region (p within MinDist of the sink, or a boundary sink whose
+	// ray exits immediately): compute l before clamping d, as the generic
+	// path does.
+	l := tau * d
+	if d < m.minDist {
+		d = m.minDist
+	}
+	if l < d {
+		l = d
+	}
+	return (l*l - d*d) / (2 * d)
+}
+
 // KernelVector evaluates the kernel at every point in pts for one sink.
 func (m *Model) KernelVector(sink geom.Point, pts []geom.Point) []float64 {
 	return m.KernelVectorInto(sink, pts, make([]float64, len(pts)))
@@ -102,7 +146,10 @@ func (m *Model) KernelVector(sink geom.Point, pts []geom.Point) []float64 {
 // KernelVectorInto evaluates the kernel at every point in pts for one sink
 // into the caller-supplied destination, which must have length len(pts),
 // and returns it. It is the allocation-free hook the candidate search uses
-// to build its per-candidate column caches.
+// to build its per-candidate column caches, so it runs the fused column
+// kernel: the sink containment check and the boundary slab offsets are
+// hoisted out of the loop (both are sink-invariant), and each point costs
+// one sqrt plus the closed-form slab parameter — no RayExit call.
 func (m *Model) KernelVectorInto(sink geom.Point, pts []geom.Point, dst []float64) []float64 {
 	if len(dst) != len(pts) {
 		panic(fmt.Sprintf("fluxmodel: KernelVectorInto destination length %d, want %d", len(dst), len(pts)))
@@ -113,8 +160,9 @@ func (m *Model) KernelVectorInto(sink geom.Point, pts []geom.Point, dst []float6
 		}
 		return dst
 	}
+	slabs := m.field.SlabsAt(sink)
 	for i, p := range pts {
-		dst[i] = m.kernelSinkInside(sink, p)
+		dst[i] = m.kernelFused(slabs, sink, p)
 	}
 	return dst
 }
@@ -132,8 +180,9 @@ func (m *Model) PredictFlux(sinks []geom.Point, cs []float64, pts []geom.Point) 
 		if cs[j] == 0 || !m.field.Contains(sink) {
 			continue
 		}
+		slabs := m.field.SlabsAt(sink)
 		for i, p := range pts {
-			out[i] += cs[j] * m.kernelSinkInside(sink, p)
+			out[i] += cs[j] * m.kernelFused(slabs, sink, p)
 		}
 	}
 	return out, nil

@@ -161,6 +161,52 @@ func (r Rect) BoundaryDistThrough(origin, via Point) (l float64, ok bool) {
 	return r.RayExit(origin, via.Sub(origin))
 }
 
+// ExitSlabs caches the slab offsets of a rectangle around a fixed interior
+// origin, so repeated boundary-exit queries from that origin cost two
+// divisions and two comparisons each instead of a full RayExit (containment
+// check, normalization, four slab branches). The flux model's vectorized
+// kernel builds one ExitSlabs per sink and queries it once per sample point.
+type ExitSlabs struct {
+	xhi, xlo float64 // Max.X - origin.X, Min.X - origin.X
+	yhi, ylo float64 // Max.Y - origin.Y, Min.Y - origin.Y
+}
+
+// SlabsAt returns the cached slab offsets of r around origin. The origin
+// must lie inside r for Scale to be meaningful, mirroring RayExit's
+// contract; SlabsAt itself does not check.
+func (r Rect) SlabsAt(origin Point) ExitSlabs {
+	return ExitSlabs{
+		xhi: r.Max.X - origin.X, xlo: r.Min.X - origin.X,
+		yhi: r.Max.Y - origin.Y, ylo: r.Min.Y - origin.Y,
+	}
+}
+
+// Scale returns the closed-form slab parameter τ: the largest τ >= 0 such
+// that origin + τ·(dx, dy) still lies in the rectangle. The direction is
+// deliberately NOT normalized — for the flux model's ray from a sink through
+// a sample point at distance d, the boundary distance is simply l = τ·d, so
+// the kernel g = (l² − d²)/(2d) collapses to d(τ²−1)/2 with no unit vector
+// and no second square root. A zero direction returns +Inf; callers treat
+// that as "sample point coincides with the origin" and fall back.
+func (s ExitSlabs) Scale(dx, dy float64) float64 {
+	t := math.Inf(1)
+	if dx > 0 {
+		t = s.xhi / dx
+	} else if dx < 0 {
+		t = s.xlo / dx
+	}
+	if dy > 0 {
+		if ty := s.yhi / dy; ty < t {
+			t = ty
+		}
+	} else if dy < 0 {
+		if ty := s.ylo / dy; ty < t {
+			t = ty
+		}
+	}
+	return t
+}
+
 // Lerp linearly interpolates between a and b; t=0 yields a, t=1 yields b.
 func Lerp(a, b Point, t float64) Point {
 	return Point{X: a.X + (b.X-a.X)*t, Y: a.Y + (b.Y-a.Y)*t}

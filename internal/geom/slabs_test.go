@@ -1,0 +1,101 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"testing/quick"
+)
+
+// TestExitSlabsMatchesRayExit checks the closed-form slab parameter against
+// the generic RayExit primitive: for any interior origin and any sample
+// point, τ·|v| must equal the ray-exit distance along v = point − origin.
+func TestExitSlabsMatchesRayExit(t *testing.T) {
+	r := Square(30)
+	origins := []Point{
+		Pt(15, 15), Pt(0.001, 0.001), Pt(29.999, 15), Pt(7, 23.5),
+		Pt(0, 0), Pt(30, 30), Pt(15, 0),
+	}
+	targets := []Point{
+		Pt(1, 1), Pt(29, 2), Pt(15, 15), Pt(0, 30), Pt(22.5, 7.25),
+		Pt(15, 0.0001), Pt(29.9999, 29.9999),
+	}
+	for _, o := range origins {
+		slabs := r.SlabsAt(o)
+		for _, p := range targets {
+			if p == o {
+				continue
+			}
+			dx, dy := p.X-o.X, p.Y-o.Y
+			tau := slabs.Scale(dx, dy)
+			got := tau * math.Sqrt(dx*dx+dy*dy)
+			want, ok := r.BoundaryDistThrough(o, p)
+			if !ok {
+				t.Fatalf("BoundaryDistThrough(%v, %v) not ok", o, p)
+			}
+			tol := 1e-9 * math.Max(want, 1)
+			if math.Abs(got-want) > tol {
+				t.Errorf("origin %v point %v: slab l = %v, RayExit l = %v", o, p, got, want)
+			}
+		}
+	}
+}
+
+// TestExitSlabsQuick fuzzes random interior origin/point pairs.
+func TestExitSlabsQuick(t *testing.T) {
+	r := Square(30)
+	f := func(a, b, c, d float64) bool {
+		frac := func(v float64) float64 {
+			v = math.Abs(v)
+			return v - math.Floor(v)
+		}
+		o := Pt(30*frac(a), 30*frac(b))
+		p := Pt(30*frac(c), 30*frac(d))
+		if o == p {
+			return true
+		}
+		dx, dy := p.X-o.X, p.Y-o.Y
+		got := r.SlabsAt(o).Scale(dx, dy) * math.Sqrt(dx*dx+dy*dy)
+		want, ok := r.BoundaryDistThrough(o, p)
+		return ok && math.Abs(got-want) <= 1e-9*math.Max(want, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExitSlabsZeroDirection: the degenerate direction reports +Inf so the
+// caller can detect "point == origin" without a separate comparison.
+func TestExitSlabsZeroDirection(t *testing.T) {
+	r := Square(10)
+	if got := r.SlabsAt(Pt(5, 5)).Scale(0, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero direction Scale = %v, want +Inf", got)
+	}
+}
+
+// TestExitSlabsTauAtLeastOneInside: for an interior target point the exit
+// parameter is >= 1 (the ray leaves the field at or beyond the point), which
+// is what makes the fused kernel g = d(τ²−1)/2 non-negative.
+func TestExitSlabsTauAtLeastOneInside(t *testing.T) {
+	r := Square(30)
+	slabs := r.SlabsAt(Pt(12, 7))
+	for _, p := range []Point{Pt(1, 1), Pt(29, 29), Pt(12, 7.0001), Pt(30, 7)} {
+		tau := slabs.Scale(p.X-12, p.Y-7)
+		if tau < 1 {
+			t.Errorf("interior point %v: tau = %v < 1", p, tau)
+		}
+	}
+}
+
+func BenchmarkExitSlabsScale(b *testing.B) {
+	r := Square(1000)
+	slabs := r.SlabsAt(Pt(400, 600))
+	dirs := [...][2]float64{{300, 90}, {-150, 300}, {-390, -599}, {80, -10}}
+	b.ReportAllocs()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		d := dirs[i%len(dirs)]
+		acc += slabs.Scale(d[0], d[1])
+	}
+	benchSink = acc
+}

@@ -1,0 +1,71 @@
+// Package par provides the bounded fork-join helper shared by every
+// intra-run parallel loop in the pipeline: the NLS candidate search in
+// internal/fit and the per-user phases of the SMC tracker in internal/smc.
+// (The experiment harness keeps its own work-stealing pool in internal/exp,
+// whose units are whole trials rather than slices of one computation.)
+//
+// The contract that makes nested use safe is determinism: callers must make
+// fn(w, i) a pure function of i that writes only index-disjoint outputs, so
+// results never depend on the worker count or on scheduling. The worker
+// index w exists solely to hand each goroutine its own scratch arena.
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Resolve returns the worker count For will actually use for n independent
+// units: GOMAXPROCS when workers <= 0, never more than n, never less than 1.
+func Resolve(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For runs fn(w, i) for every i in [0, n) on up to workers goroutines
+// (GOMAXPROCS when workers <= 0). The worker index w identifies which of the
+// Resolve(n, workers) contiguous shards is running, so callers can hand each
+// worker its own scratch state. The first (lowest-shard) error wins; fn
+// invocations must be independent. With one worker the loop runs inline in
+// index order and aborts on the first error — the exact sequential path.
+func For(n, workers int, fn func(w, i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers = Resolve(n, workers)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := n * w / workers
+			hi := n * (w + 1) / workers
+			for i := lo; i < hi; i++ {
+				if err := fn(w, i); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

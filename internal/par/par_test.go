@@ -1,0 +1,71 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var hits [100]atomic.Int32
+		if err := For(len(hits), workers, func(_, i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := For(100, workers, func(_, i int) error {
+			if i == 57 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: got %v, want sentinel", workers, err)
+		}
+	}
+	if err := For(0, 4, func(int, int) error { return sentinel }); err != nil {
+		t.Errorf("empty For returned %v", err)
+	}
+}
+
+func TestForShardIndexInRange(t *testing.T) {
+	const n, workers = 64, 5
+	resolved := Resolve(n, workers)
+	err := For(n, workers, func(w, _ int) error {
+		if w < 0 || w >= resolved {
+			t.Errorf("worker index %d outside [0, %d)", w, resolved)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(10, 4); got != 4 {
+		t.Errorf("Resolve(10, 4) = %d, want 4", got)
+	}
+	if got := Resolve(3, 8); got != 3 {
+		t.Errorf("Resolve(3, 8) = %d, want 3 (capped at n)", got)
+	}
+	if got := Resolve(10, 0); got < 1 {
+		t.Errorf("Resolve(10, 0) = %d, want >= 1", got)
+	}
+	if got := Resolve(0, 0); got != 1 {
+		t.Errorf("Resolve(0, 0) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,201 @@
+package smc
+
+import (
+	"reflect"
+	"testing"
+
+	"fluxtrack/internal/fit"
+	"fluxtrack/internal/geom"
+)
+
+// trackScenario runs a three-user tracking scenario for rounds steps with
+// the given worker count and returns every StepResult. Everything except
+// Workers is held fixed, so any divergence between worker counts is a
+// determinism bug in the intra-step parallelism.
+func trackScenario(t testing.TB, workers, rounds int) []StepResult {
+	t.Helper()
+	m, pts := testModel(t, 30)
+	tr, err := New(Config{
+		Model: m, SamplePoints: pts, NumUsers: 3,
+		N: 200, M: 8, VMax: 3,
+		Search:  fit.Options{Seed: 99},
+		Workers: workers,
+	}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]StepResult, 0, rounds)
+	for step := 1; step <= rounds; step++ {
+		truths := []geom.Point{
+			geom.Pt(5+1.5*float64(step), 8),
+			geom.Pt(25-1.5*float64(step), 22),
+			geom.Pt(15, 5+2*float64(step)),
+		}
+		obs := observe(t, m, pts, truths, []float64{1.5, 2.0, 1.0})
+		res, err := tr.Step(float64(step), obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// TestStepWorkerInvariance demands byte-identical tracker output at every
+// worker count: the per-user RNG substreams are derived from (seed, user)
+// only, candidate scoring merges are worker-order independent, and the
+// update/estimate shards touch disjoint state, so Workers must be a pure
+// throughput knob.
+func TestStepWorkerInvariance(t *testing.T) {
+	serial := trackScenario(t, 1, 6)
+	for _, workers := range []int{2, 4, 8, 0} {
+		got := trackScenario(t, workers, 6)
+		if !reflect.DeepEqual(serial, got) {
+			t.Fatalf("Workers=%d diverges from serial output", workers)
+		}
+	}
+}
+
+// TestStepParallelRace exercises the parallel prediction, search, and
+// update paths with more users than workers so shards carry several users
+// each; run under -race it proves the per-user sharding is data-race free.
+func TestStepParallelRace(t *testing.T) {
+	m, pts := testModel(t, 32)
+	tr, err := New(Config{
+		Model: m, SamplePoints: pts, NumUsers: 5,
+		N: 150, M: 6, VMax: 4,
+		Workers: 4,
+	}, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= 4; step++ {
+		truths := make([]geom.Point, 5)
+		cs := make([]float64, 5)
+		for j := range truths {
+			truths[j] = geom.Pt(4+5*float64(j), 6+3*float64(step))
+			cs[j] = 1 + 0.3*float64(j)
+		}
+		obs := observe(t, m, pts, truths, cs)
+		if _, err := tr.Step(float64(step), obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStepActiveSetWorkerInvariance covers the ActiveSetLimit path, whose
+// incumbent fit also shards kernel columns across workers.
+func TestStepActiveSetWorkerInvariance(t *testing.T) {
+	run := func(workers int) []StepResult {
+		m, pts := testModel(t, 34)
+		tr, err := New(Config{
+			Model: m, SamplePoints: pts, NumUsers: 6,
+			N: 120, M: 6, VMax: 3,
+			ActiveSetLimit: 3,
+			Search:         fit.Options{Seed: 7},
+			Workers:        workers,
+		}, 35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]StepResult, 0, 5)
+		for step := 1; step <= 5; step++ {
+			truths := []geom.Point{
+				geom.Pt(6, 6), geom.Pt(24, 6), geom.Pt(6, 24),
+			}
+			obs := observe(t, m, pts, truths, []float64{2, 1.5, 1})
+			res, err := tr.Step(float64(step), obs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+	serial := run(1)
+	if got := run(4); !reflect.DeepEqual(serial, got) {
+		t.Fatal("ActiveSetLimit path diverges between Workers=1 and Workers=4")
+	}
+}
+
+// stepAllocs reports the steady-state allocations of one serial Step at the
+// given per-user sample count N, after warmup rounds have grown the
+// tracker's prediction arenas and the searcher's candidate-column arenas to
+// their steady-state size.
+func stepAllocs(t *testing.T, n int) float64 {
+	t.Helper()
+	m, pts := testModel(t, 36)
+	tr, err := New(Config{
+		Model: m, SamplePoints: pts, NumUsers: 2,
+		N: n, M: 8, VMax: 3,
+		Workers: 1,
+	}, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := observe(t, m, pts, []geom.Point{geom.Pt(10, 12), geom.Pt(22, 20)}, []float64{1.5, 2})
+	step := 0
+	doStep := func() {
+		step++
+		if _, err := tr.Step(float64(step), obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		doStep()
+	}
+	return testing.AllocsPerRun(10, doStep)
+}
+
+// TestStepAllocationFlat guards the allocation profile of the steady-state
+// serial Step: its allocation count must not scale with N. Quadrupling N
+// quadruples the candidate evaluations per round, so any per-candidate or
+// per-sample allocation on the hot path multiplies the count and trips this
+// test; the small slack absorbs incidental variation (map growth, result
+// materialization) without letting an O(N) term through.
+func TestStepAllocationFlat(t *testing.T) {
+	small := stepAllocs(t, 150)
+	large := stepAllocs(t, 600)
+	if large > small+16 {
+		t.Errorf("Step allocations scale with N: %0.f allocs at N=150, %0.f at N=600", small, large)
+	}
+}
+
+// BenchmarkTrackerStep measures one tracking round at tracking-experiment
+// scale (three users, N=400) for serial and parallel worker counts. On a
+// multi-core machine the parallel variants shard prediction, candidate
+// scoring, and update across cores; on one core they fall back to near-serial
+// cost, and the worker invariance test guarantees identical output either way.
+func BenchmarkTrackerStep(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=2", 2},
+		{"workers=4", 4},
+		{"workers=8", 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			m, pts := testModel(b, 38)
+			tr, err := New(Config{
+				Model: m, SamplePoints: pts, NumUsers: 3,
+				N: 400, M: 10, VMax: 3,
+				Workers: bc.workers,
+			}, 39)
+			if err != nil {
+				b.Fatal(err)
+			}
+			obs := observe(b, m, pts,
+				[]geom.Point{geom.Pt(8, 8), geom.Pt(22, 10), geom.Pt(15, 24)},
+				[]float64{1.5, 2, 1})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Step(float64(i+1), obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fluxtrack/internal/fluxmodel"
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/mat"
+	"fluxtrack/internal/par"
 	"fluxtrack/internal/rng"
 )
 
@@ -63,6 +64,15 @@ type Config struct {
 	// with the disc radius halved — the heading carries the information
 	// the larger blind disc would otherwise have to cover.
 	HeadingPrediction bool
+	// Workers bounds the goroutines running one tracker round: the per-user
+	// prediction draws, the incumbent-fit kernel columns of the active-set
+	// selection, the candidate-scoring loops of the inner search, and the
+	// per-user update/estimate bookkeeping. Every user owns an independent
+	// RNG substream (derived from the tracker seed and the user index), so
+	// tracker output is byte-identical at any worker count. Zero means one
+	// worker per CPU (GOMAXPROCS); 1 forces the sequential path. When
+	// Search.Workers is unset it inherits this value.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +98,9 @@ func (c Config) withDefaults() Config {
 		// the localization default.
 		c.Search.MaxExhaustive = 20000
 	}
+	if c.Search.Workers == 0 {
+		c.Search.Workers = c.Workers
+	}
 	return c
 }
 
@@ -97,6 +110,10 @@ type userState struct {
 	weights     []float64
 	lastUpdate  float64
 	initialized bool
+	// src is this user's private RNG substream: all of the user's Monte
+	// Carlo draws come from it, so prediction for different users can run
+	// on different workers without perturbing each other's streams.
+	src *rng.Source
 	// velocity is the estimated displacement per unit time between the two
 	// most recent updates; used only when HeadingPrediction is on.
 	velocity    geom.Vec
@@ -106,16 +123,24 @@ type userState struct {
 }
 
 // Tracker runs Algorithm 4.1 over a stream of flux observations. It is not
-// safe for concurrent use: each tracker owns its RNG stream and a reusable
-// fit.Searcher whose candidate-column arenas and per-worker scratches are
-// shared by every round's incumbent fits and composition searches, keeping
-// the steady-state filtering step allocation-flat.
+// safe for concurrent use by multiple goroutines, but it parallelizes each
+// round internally (see Config.Workers): every user owns a deterministic
+// RNG substream, so per-user prediction and update shard cleanly, and the
+// reusable fit.Searcher — whose candidate-column arenas and per-worker
+// scratches are shared by every round's incumbent fits and composition
+// searches — keeps the steady-state filtering step allocation-flat in N.
 type Tracker struct {
 	cfg      Config
 	users    []userState
-	src      *rng.Source
 	steps    int
 	searcher *fit.Searcher
+
+	// Per-round prediction buffers, reused across Steps: candidate and
+	// origin slots for up to NumUsers×N draws.
+	candArena []geom.Point
+	origArena []int
+	candBuf   [][]geom.Point
+	origBuf   [][]int
 }
 
 // Estimate is one user's per-round output.
@@ -142,6 +167,19 @@ type StepResult struct {
 	Objective float64 // objective of the best composition this round
 }
 
+// userStreamSeed derives user j's RNG substream seed from the tracker seed:
+// a splitmix64 finalizer over seed + (j+1)·golden-ratio, so neighboring
+// users land in statistically independent stream regions. The derivation
+// depends only on (seed, j) — never on the worker count or on how many
+// draws other users made — which is what makes tracker output byte-identical
+// at any Config.Workers value.
+func userStreamSeed(seed uint64, j int) uint64 {
+	z := seed + uint64(j+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // New returns a Tracker. SamplePoints and the model must be consistent;
 // seed fixes all Monte Carlo draws.
 func New(cfg Config, seed uint64) (*Tracker, error) {
@@ -161,8 +199,10 @@ func New(cfg Config, seed uint64) (*Tracker, error) {
 	tr := &Tracker{
 		cfg:      cfg,
 		users:    make([]userState, cfg.NumUsers),
-		src:      rng.New(seed),
 		searcher: fit.NewSearcher(),
+	}
+	for j := range tr.users {
+		tr.users[j].src = rng.New(userStreamSeed(seed, j))
 	}
 	return tr, nil
 }
@@ -225,11 +265,12 @@ func (tr *Tracker) selectActive(prob *fit.Problem, t float64) ([]int, error) {
 	}
 
 	// Incumbent fit: all initialized users pinned at their current best.
+	// The per-user kernel columns shard across the tracker's workers.
 	positions := make([]geom.Point, len(initialized))
 	for i, j := range initialized {
 		positions[i] = tr.users[j].samples[0]
 	}
-	ev, err := tr.searcher.Evaluate(prob, positions)
+	ev, err := tr.searcher.EvaluateWorkers(prob, positions, tr.cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("smc: incumbent fit: %w", err)
 	}
@@ -289,22 +330,49 @@ func (tr *Tracker) selectActive(prob *fit.Problem, t float64) ([]int, error) {
 	return subset, nil
 }
 
+// predictBuffers returns k reusable candidate/origin buffers of length N
+// each, carved out of the tracker-owned arenas so the steady-state
+// prediction phase allocates nothing.
+func (tr *Tracker) predictBuffers(k int) ([][]geom.Point, [][]int) {
+	n := tr.cfg.N
+	need := k * n
+	if cap(tr.candArena) < need {
+		tr.candArena = make([]geom.Point, need)
+	}
+	if cap(tr.origArena) < need {
+		tr.origArena = make([]int, need)
+	}
+	if cap(tr.candBuf) < k {
+		tr.candBuf = make([][]geom.Point, k)
+		tr.origBuf = make([][]int, k)
+	}
+	cands := tr.candBuf[:k]
+	origins := tr.origBuf[:k]
+	for i := 0; i < k; i++ {
+		cands[i] = tr.candArena[i*n : (i+1)*n : (i+1)*n]
+		origins[i] = tr.origArena[i*n : (i+1)*n : (i+1)*n]
+	}
+	return cands, origins
+}
+
 // stepSubset runs one Algorithm 4.1 round with only the subset users in the
 // candidate search; the remaining users are treated as idle this round.
 func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int) (StepResult, error) {
 	if len(subset) == 0 {
 		return StepResult{}, errors.New("smc: empty user subset")
 	}
-	// Prediction phase (Eq 4.2): candidate sets of size N per subset user.
-	candidates := make([][]geom.Point, len(subset))
-	origins := make([][]int, len(subset)) // provenance into the kept sets
-	for i, j := range subset {
-		candidates[i], origins[i] = tr.predict(j, t)
-	}
+	// Prediction phase (Eq 4.2): candidate sets of size N per subset user,
+	// drawn concurrently — each user's draws come from its own substream,
+	// so any sharding yields the same candidates.
+	candidates, origins := tr.predictBuffers(len(subset))
+	_ = par.For(len(subset), tr.cfg.Workers, func(_, i int) error {
+		tr.predictInto(subset[i], t, candidates[i], origins[i])
+		return nil
+	})
 
 	// Filtering phase: rank compositions by NLS objective.
 	searchOpts := tr.cfg.Search
-	searchOpts.TopM = maxInt(tr.cfg.M, searchOpts.TopM)
+	searchOpts.TopM = max(tr.cfg.M, searchOpts.TopM)
 	res, err := tr.searcher.Search(prob, candidates, searchOpts)
 	if err != nil {
 		return StepResult{}, err
@@ -327,11 +395,13 @@ func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int) (StepR
 	for i, j := range subset {
 		inSubset[j] = i
 	}
-	for j := range tr.users {
+	// Update and estimate bookkeeping: independent per user (user j's state
+	// and estimate slot are touched by exactly one worker).
+	_ = par.For(len(tr.users), tr.cfg.Workers, func(_, j int) error {
 		i, searched := inSubset[j]
 		if !searched {
 			out.Estimates[j] = tr.estimate(j, false, 0)
-			continue
+			return nil
 		}
 		stretch := best.Stretches[i]
 		active := maxStretch > 0 && stretch >= tr.cfg.IdleStretchFrac*maxStretch
@@ -339,25 +409,25 @@ func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int) (StepR
 			tr.update(j, t, res.PerUser[i], origins[i])
 		}
 		out.Estimates[j] = tr.estimate(j, active, stretch)
-	}
+		return nil
+	})
 	tr.steps++
 	return out, nil
 }
 
-// predict draws the N candidate positions for user j at time t, per Eq 4.2:
-// uniform in the disc of radius VMax·Δt around an origin sample chosen by
-// importance weight. Uninitialized users draw uniformly over the field.
-func (tr *Tracker) predict(j int, t float64) ([]geom.Point, []int) {
+// predictInto draws the N candidate positions for user j at time t into the
+// provided buffers, per Eq 4.2: uniform in the disc of radius VMax·Δt around
+// an origin sample chosen by importance weight. Uninitialized users draw
+// uniformly over the field. All randomness comes from user j's substream.
+func (tr *Tracker) predictInto(j int, t float64, cands []geom.Point, origins []int) {
 	u := &tr.users[j]
 	field := tr.cfg.Model.Field()
-	cands := make([]geom.Point, tr.cfg.N)
-	origins := make([]int, tr.cfg.N)
 	if !u.initialized {
 		for i := range cands {
-			cands[i] = tr.src.InRect(field)
+			cands[i] = u.src.InRect(field)
 			origins[i] = -1
 		}
-		return cands, origins
+		return
 	}
 	dt := math.Max(t-u.lastUpdate, 0)
 	radius := tr.cfg.VMax * dt
@@ -373,15 +443,14 @@ func (tr *Tracker) predict(j int, t float64) ([]geom.Point, []int) {
 		radius /= 2
 	}
 	for i := range cands {
-		o := tr.src.Weighted(u.weights)
+		o := u.src.Weighted(u.weights)
 		if o < 0 {
-			o = tr.src.IntN(len(u.samples))
+			o = u.src.IntN(len(u.samples))
 		}
 		center := u.samples[o].Add(drift)
-		cands[i] = tr.src.InDiscClamped(field.Clamp(center), radius, field)
+		cands[i] = u.src.InDiscClamped(field.Clamp(center), radius, field)
 		origins[i] = o
 	}
-	return cands, origins
 }
 
 // update replaces user j's kept set with the top-M ranked positions and
@@ -389,7 +458,7 @@ func (tr *Tracker) predict(j int, t float64) ([]geom.Point, []int) {
 // w_t(i) ∝ w_{t−1}(origin(i)) · P(o_t | P(i)) with P(o|P(i)) ≈ 1/objective.
 func (tr *Tracker) update(j int, t float64, ranked []fit.RankedPosition, origins []int) {
 	u := &tr.users[j]
-	m := minInt(tr.cfg.M, len(ranked))
+	m := min(tr.cfg.M, len(ranked))
 	newSamples := make([]geom.Point, m)
 	newWeights := make([]float64, m)
 	var total float64
@@ -457,18 +526,4 @@ func (tr *Tracker) estimate(j int, active bool, stretch float64) Estimate {
 	est.Mean = geom.Pt(x, y)
 	est.Best = u.samples[0] // ranked ascending by objective at update time
 	return est
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
