@@ -12,6 +12,11 @@
 //	fluxbench -workers 4      # bound the trial-level parallelism
 //	fluxbench -json out.json  # also write a machine-readable benchmark report
 //
+// Degraded sensing (see internal/fault; figRobust sweeps these built-in):
+//
+//	fluxbench -exp fig7 -dropout 0.2            # 20% of sensors fail permanently
+//	fluxbench -exp fig8a -loss 0.3 -delay 0.2   # lossy + delayed reports
+//
 // Profiling and report comparison:
 //
 //	fluxbench -quick -cpuprofile cpu.out    # pprof CPU profile of the run
@@ -40,6 +45,7 @@ import (
 	"time"
 
 	"fluxtrack/internal/exp"
+	"fluxtrack/internal/fault"
 	"fluxtrack/internal/plot"
 )
 
@@ -92,6 +98,11 @@ func run(args []string) error {
 		rounds  = fs.Int("rounds", 0, "override the tracking round count")
 		workers = fs.Int("workers", 0, "worker count for trials, NLS search, and tracker steps (0 = one per CPU, 1 = sequential)")
 		jsonOut = fs.String("json", "", "write a JSON benchmark report to this file")
+		dropout = fs.Float64("dropout", 0, "fraction of sensors that fail permanently (tracking experiments)")
+		loss    = fs.Float64("loss", 0, "per-round probability a report is lost")
+		delayP  = fs.Float64("delay", 0, "per-round probability a report is delayed")
+		delayR  = fs.Int("delayrounds", 0, "rounds a delayed report is late (0 = default 2)")
+		stuck   = fs.Float64("stuck", 0, "fraction of sensors with frozen readings")
 		chart   = fs.Bool("chart", false, "render an ASCII bar chart per table column")
 		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -154,6 +165,13 @@ func run(args []string) error {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	cfg.Fault = fault.Config{
+		DropoutFrac: *dropout, LossProb: *loss,
+		DelayProb: *delayP, DelayRounds: *delayR, StuckFrac: *stuck,
+	}
+	if err := cfg.Fault.Validate(); err != nil {
+		return err
 	}
 
 	experiments := exp.All()

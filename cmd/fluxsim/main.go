@@ -7,6 +7,7 @@
 //	fluxsim -users 3 -pct 10 -seed 7
 //	fluxsim -users 2 -deploy random -noise 0.1
 //	fluxsim -users 3 -workers 4   # parallel candidate scoring, same output
+//	fluxsim -users 2 -dropout 0.2 -loss 0.1   # localize from a degraded sniff
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"fluxtrack/internal/core"
 	"fluxtrack/internal/deploy"
+	"fluxtrack/internal/fault"
 	"fluxtrack/internal/fit"
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/rng"
@@ -41,6 +43,9 @@ func run(args []string) error {
 		seed    = fs.Uint64("seed", 1, "random seed")
 		samples = fs.Int("samples", 2000, "candidate positions per user")
 		workers = fs.Int("workers", 1, "NLS search worker count (0 = one per CPU)")
+		dropout = fs.Float64("dropout", 0, "fraction of sniffed sensors that fail permanently")
+		loss    = fs.Float64("loss", 0, "probability each report is lost this round")
+		stuck   = fs.Float64("stuck", 0, "fraction of sniffed sensors with frozen readings")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,12 +83,34 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if _, err := sniffer.Observe(userSet, *noise, src); err != nil {
+	faultCfg := fault.Config{DropoutFrac: *dropout, LossProb: *loss, StuckFrac: *stuck}
+	if err := faultCfg.Validate(); err != nil {
 		return err
 	}
-	res, err := sniffer.Localize(*users, fit.Options{Samples: *samples, TopM: 10, Workers: *workers}, src)
-	if err != nil {
-		return err
+	opts := fit.Options{Samples: *samples, TopM: 10, Workers: *workers}
+	var res fit.Result
+	if faultCfg.Enabled() {
+		inj, err := sniffer.NewFaultInjector(faultCfg, src.Uint64())
+		if err != nil {
+			return err
+		}
+		deg, err := sniffer.ObserveDegraded(userSet, *noise, inj, src)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ndegraded sniff: %d of %d reports delivered\n", deg.Delivered(), inj.NumSensors())
+		res, err = sniffer.LocalizeMasked(deg, *users, opts, src)
+		if err != nil {
+			return err
+		}
+	} else {
+		if _, err := sniffer.Observe(userSet, *noise, src); err != nil {
+			return err
+		}
+		res, err = sniffer.Localize(*users, opts, src)
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Println("\nNLS localization from sparse flux samples:")

@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"fluxtrack/internal/deploy"
+	"fluxtrack/internal/fault"
 	"fluxtrack/internal/fit"
 	"fluxtrack/internal/fluxmodel"
 	"fluxtrack/internal/geom"
@@ -207,6 +208,55 @@ func (sn *Sniffer) Problem(observation []float64) (*fit.Problem, error) {
 	return fit.NewProblem(sn.scenario.model, sn.points, observation)
 }
 
+// NewFaultInjector builds a fault injector sized to this sniffer's monitored
+// nodes. Seed it from the trial's seed stream so degraded trials stay
+// deterministic at any worker count (see internal/fault).
+func (sn *Sniffer) NewFaultInjector(cfg fault.Config, seed uint64) (*fault.Injector, error) {
+	return fault.NewInjector(cfg, len(sn.nodes), seed)
+}
+
+// ObserveDegraded is Observe followed by one fault-injection round: the
+// users' flux is measured as usual, then the injector decides which reports
+// actually reach the adversary this round, which are delayed (Age > 0), and
+// which are lost. A nil injector returns an all-present, all-fresh
+// observation, so callers can thread one code path for both cases.
+func (sn *Sniffer) ObserveDegraded(users []traffic.User, noiseSigma float64,
+	inj *fault.Injector, src *rng.Source) (fault.Observation, error) {
+	readings, err := sn.Observe(users, noiseSigma, src)
+	if err != nil {
+		return fault.Observation{}, err
+	}
+	if inj == nil {
+		obs := fault.Observation{
+			Readings: readings,
+			Present:  make([]bool, len(readings)),
+			Age:      make([]int, len(readings)),
+		}
+		for i := range obs.Present {
+			obs.Present[i] = true
+		}
+		return obs, nil
+	}
+	return inj.Apply(readings)
+}
+
+// ProblemMasked builds the NLS fitting problem over the delivered reports of
+// a degraded observation only; missing sensors simply drop out of the fit.
+// It returns fit.ErrAllMasked when nothing was delivered.
+func (sn *Sniffer) ProblemMasked(obs fault.Observation) (*fit.Problem, error) {
+	return fit.NewProblemMasked(sn.scenario.model, sn.points, obs.Readings, nil, obs.Present)
+}
+
+// LocalizeMasked runs the instant-localization attack on a degraded
+// observation, fitting only the sensors that delivered a report.
+func (sn *Sniffer) LocalizeMasked(obs fault.Observation, numUsers int, opts fit.Options, src *rng.Source) (fit.Result, error) {
+	prob, err := sn.ProblemMasked(obs)
+	if err != nil {
+		return fit.Result{}, err
+	}
+	return fit.Localize(prob, numUsers, opts, src)
+}
+
 // Localize runs the instant-localization attack (§5.A) on the most recent
 // observation.
 func (sn *Sniffer) Localize(numUsers int, opts fit.Options, src *rng.Source) (fit.Result, error) {
@@ -230,6 +280,10 @@ type TrackerConfig struct {
 	UniformWeights    bool // disable §4.D importance weighting (ablation)
 	ActiveSetLimit    int  // cap on users searched per round (§5.C regime)
 	HeadingPrediction bool // §4.C refinement: dead-reckoned prediction discs
+	// StaleAttenuation controls how strongly delayed reports are discounted
+	// in masked tracking rounds (see smc.Config.StaleAttenuation; zero
+	// takes the default of 0.5, negative disables the discount).
+	StaleAttenuation float64
 	// Workers bounds the goroutines inside one tracker round (prediction,
 	// candidate scoring, update); 0 means GOMAXPROCS, 1 forces serial.
 	// Output is identical at any value (see smc.Config.Workers).
@@ -250,6 +304,7 @@ func (sn *Sniffer) NewTracker(numUsers int, cfg TrackerConfig, seed uint64) (*sm
 		UniformWeights:    cfg.UniformWeights,
 		ActiveSetLimit:    cfg.ActiveSetLimit,
 		HeadingPrediction: cfg.HeadingPrediction,
+		StaleAttenuation:  cfg.StaleAttenuation,
 		Workers:           cfg.Workers,
 	}, seed)
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"fluxtrack/internal/core"
+	"fluxtrack/internal/fault"
 	"fluxtrack/internal/fit"
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/rng"
@@ -76,6 +77,13 @@ type Config struct {
 	// forces the exact sequential legacy path. Every value produces
 	// byte-identical tables — see parallel.go.
 	Workers int
+	// Fault degrades the observation stream every tracking trial sees:
+	// permanent sensor dropout, per-round report loss, delayed delivery, and
+	// stuck readings (see internal/fault). The zero value is the clean,
+	// lossless stream of the paper's evaluation. Each trial gets its own
+	// injector seeded from the trial seed, so fault patterns are byte-stable
+	// at any worker count like everything else in this package.
+	Fault fault.Config
 }
 
 // DefaultConfig returns the paper-faithful settings (§5): 10,000 samples

@@ -1,12 +1,15 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 
 	"fluxtrack/internal/core"
+	"fluxtrack/internal/fault"
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/mobility"
 	"fluxtrack/internal/rng"
+	"fluxtrack/internal/smc"
 	"fluxtrack/internal/stats"
 )
 
@@ -14,6 +17,13 @@ import (
 // trajectories, observed over cfg.Rounds windows at unit intervals through
 // a sniffer of sampleCount nodes. It returns the identity-agnostic matched
 // error per round (averaged over users).
+//
+// When cfg.Fault is enabled the observation stream passes through a fault
+// injector seeded from the trial's own stream, and rounds run through the
+// masked tracker step: absent sensors drop out of the fit, delayed reports
+// are deflated by their staleness, and a round where nothing is delivered
+// (smc.ErrAllMasked) carries the previous estimates forward — degraded, not
+// broken.
 func trackTrial(cfg Config, sc *core.Scenario, trajectories []mobility.Trajectory,
 	sampleCount int, vmax float64, uniformWeights bool, src *rng.Source) ([]float64, error) {
 	sniffer, err := sc.NewSnifferCount(sampleCount, src)
@@ -32,6 +42,22 @@ func trackTrial(cfg Config, sc *core.Scenario, trajectories []mobility.Trajector
 	if err != nil {
 		return nil, err
 	}
+	// The injector seed is drawn only when faults are on, so fault-free
+	// trials consume exactly the seed stream they always did.
+	var inj *fault.Injector
+	if cfg.Fault.Enabled() {
+		inj, err = sniffer.NewFaultInjector(cfg.Fault, src.Uint64())
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Estimates persist across rounds so a fully masked round scores the
+	// previous round's belief; before any round succeeds, the best
+	// uninformed guess is the field center.
+	estimates := make([]geom.Point, k)
+	for i := range estimates {
+		estimates[i] = sc.Field().Center()
+	}
 	perRound := make([]float64, 0, cfg.Rounds)
 	for round := 1; round <= cfg.Rounds; round++ {
 		t := float64(round)
@@ -43,13 +69,26 @@ func trackTrial(cfg Config, sc *core.Scenario, trajectories []mobility.Trajector
 		if err != nil {
 			return nil, err
 		}
-		res, err := tracker.Step(t, obs)
-		if err != nil {
-			return nil, err
+		var res smc.StepResult
+		if inj == nil {
+			res, err = tracker.Step(t, obs)
+		} else {
+			var deg fault.Observation
+			deg, err = inj.Apply(obs)
+			if err != nil {
+				return nil, err
+			}
+			res, err = tracker.StepMasked(t, deg.Readings, deg.Present, deg.Age)
 		}
-		estimates := make([]geom.Point, k)
-		for i, est := range res.Estimates {
-			estimates[i] = est.Mean
+		switch {
+		case errors.Is(err, smc.ErrAllMasked):
+			// Nothing delivered this round: keep the previous estimates.
+		case err != nil:
+			return nil, err
+		default:
+			for i, est := range res.Estimates {
+				estimates[i] = est.Mean
+			}
 		}
 		perRound = append(perRound, stats.Mean(matchErrors(estimates, truths)))
 	}

@@ -3,6 +3,8 @@ package exp
 import (
 	"runtime"
 	"testing"
+
+	"fluxtrack/internal/fault"
 )
 
 // goldenConfig shrinks every effort knob to the smallest values at which
@@ -50,6 +52,43 @@ func TestGoldenWorkerInvariance(t *testing.T) {
 				if got := renderAt(t, e, gmp, 1); got != seq {
 					t.Errorf("%s: Workers=%d differs from Workers=1:\n--- sequential\n%s--- parallel\n%s", e.ID, gmp, seq, got)
 				}
+			}
+		})
+	}
+}
+
+// TestGoldenFaultInjection extends the worker-invariance contract to
+// degraded sensing: tracking experiments run with a nonzero FaultConfig must
+// still render byte-identical tables at Workers=1 and Workers=8. This is the
+// regression guard for the fault layer's hash-based draws — a sequential
+// shared fault stream would pass the clean golden suite and fail here.
+func TestGoldenFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden determinism suite skipped in -short mode")
+	}
+	faultCfg := fault.Config{DropoutFrac: 0.15, LossProb: 0.10, DelayProb: 0.20, DelayRounds: 1, StuckFrac: 0.05}
+	for _, id := range []string{"fig7", "fig8a", "figRobust"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(workers int) string {
+				cfg := goldenConfig()
+				cfg.Workers = workers
+				cfg.Fault = faultCfg
+				tbl, err := e.Run(cfg)
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", id, workers, err)
+				}
+				return tbl.Render()
+			}
+			seq := render(1)
+			par := render(8)
+			if par != seq {
+				t.Errorf("%s with faults: Workers=8 differs from Workers=1:\n--- sequential\n%s--- parallel\n%s", id, seq, par)
 			}
 		})
 	}

@@ -33,6 +33,7 @@ func All() []Experiment {
 		{ID: "ablation-heading", Run: AblationHeading, Note: "heading-informed prediction"},
 		{ID: "ablation-packet", Run: AblationPacketLevel, Note: "fluid vs packet-level sniffing"},
 		{ID: "aggregation", Run: AggregationDefense, Note: "TAG aggregation defense"},
+		{ID: "figRobust", Run: FigRobust, Note: "tracking under degraded sensing"},
 	}
 }
 

@@ -1,0 +1,166 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fluxtrack/internal/fluxmodel"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/rng"
+)
+
+func maskedTestModel(t *testing.T) *fluxmodel.Model {
+	t.Helper()
+	m, err := fluxmodel.New(geom.Square(30), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestNewProblemMaskedMatchesHandCompaction: the masked constructor must be
+// exactly equivalent to building the problem from hand-compacted slices —
+// same objective for any composition.
+func TestNewProblemMaskedMatchesHandCompaction(t *testing.T) {
+	m := maskedTestModel(t)
+	src := rng.New(31)
+	pts := make([]geom.Point, 40)
+	meas := make([]float64, 40)
+	ws := make([]float64, 40)
+	present := make([]bool, 40)
+	for i := range pts {
+		pts[i] = src.InRect(m.Field())
+		meas[i] = src.Uniform(0, 50)
+		ws[i] = src.Uniform(0.1, 2)
+		present[i] = src.Float64() < 0.6
+	}
+	present[3] = true // at least one survivor
+
+	var cp []geom.Point
+	var cm, cw []float64
+	for i, ok := range present {
+		if ok {
+			cp = append(cp, pts[i])
+			cm = append(cm, meas[i])
+			cw = append(cw, ws[i])
+		}
+	}
+	for _, weighted := range []bool{false, true} {
+		var w, cwUse []float64
+		if weighted {
+			w, cwUse = ws, cw
+		}
+		masked, err := NewProblemMasked(m, pts, meas, w, present)
+		if err != nil {
+			t.Fatal(err)
+		}
+		manual, err := NewProblemWeighted(m, cp, cm, cwUse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if masked.NumSamples() != len(cp) {
+			t.Fatalf("masked problem has %d samples, want %d", masked.NumSamples(), len(cp))
+		}
+		positions := []geom.Point{src.InRect(m.Field()), src.InRect(m.Field())}
+		em, err := masked.Evaluate(positions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eh, err := manual.Evaluate(positions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if em.Objective != eh.Objective {
+			t.Errorf("weighted=%v: masked objective %v, hand-compacted %v", weighted, em.Objective, eh.Objective)
+		}
+		for j := range em.Stretches {
+			if em.Stretches[j] != eh.Stretches[j] {
+				t.Errorf("weighted=%v: stretch[%d] %v vs %v", weighted, j, em.Stretches[j], eh.Stretches[j])
+			}
+		}
+	}
+}
+
+// TestNewProblemMaskedNilPresent: a nil mask is the full problem.
+func TestNewProblemMaskedNilPresent(t *testing.T) {
+	m := maskedTestModel(t)
+	pts := []geom.Point{geom.Pt(5, 5), geom.Pt(20, 10)}
+	meas := []float64{3, 7}
+	p, err := NewProblemMasked(m, pts, meas, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSamples() != 2 {
+		t.Errorf("nil mask kept %d samples, want 2", p.NumSamples())
+	}
+}
+
+// TestNewProblemMaskedAllMasked: an all-false mask is the typed error.
+func TestNewProblemMaskedAllMasked(t *testing.T) {
+	m := maskedTestModel(t)
+	pts := []geom.Point{geom.Pt(5, 5), geom.Pt(20, 10)}
+	meas := []float64{3, 7}
+	_, err := NewProblemMasked(m, pts, meas, nil, []bool{false, false})
+	if !errors.Is(err, ErrAllMasked) {
+		t.Fatalf("all-masked error = %v, want ErrAllMasked", err)
+	}
+}
+
+// TestNewProblemMaskedValidation: misaligned vectors are rejected.
+func TestNewProblemMaskedValidation(t *testing.T) {
+	m := maskedTestModel(t)
+	pts := []geom.Point{geom.Pt(5, 5), geom.Pt(20, 10)}
+	if _, err := NewProblemMasked(m, pts, []float64{1, 2}, nil, []bool{true}); err == nil {
+		t.Error("short mask accepted")
+	}
+	if _, err := NewProblemMasked(m, pts, []float64{1}, nil, []bool{true, true}); err == nil {
+		t.Error("short measurement accepted")
+	}
+	if _, err := NewProblemMasked(m, pts, []float64{1, 2}, []float64{1}, []bool{true, true}); err == nil {
+		t.Error("short weights accepted")
+	}
+}
+
+// TestRelativeWeightsMasked: present-only statistics must match
+// RelativeWeights computed on the compacted vector, and a nil mask must be
+// the plain RelativeWeights.
+func TestRelativeWeightsMasked(t *testing.T) {
+	meas := []float64{10, 200, 0, 35, 7}
+	present := []bool{true, false, true, true, false}
+	got := RelativeWeightsMasked(meas, present)
+	if len(got) != len(meas) {
+		t.Fatalf("weight length %d, want %d", len(got), len(meas))
+	}
+	var compact []float64
+	for i, f := range meas {
+		if present[i] {
+			compact = append(compact, f)
+		}
+	}
+	want := RelativeWeights(compact)
+	wi := 0
+	for i := range meas {
+		if !present[i] {
+			if got[i] != 1 {
+				t.Errorf("masked slot %d weight %v, want placeholder 1", i, got[i])
+			}
+			continue
+		}
+		if math.Abs(got[i]-want[wi]) > 1e-15 {
+			t.Errorf("slot %d weight %v, want %v", i, got[i], want[wi])
+		}
+		wi++
+	}
+
+	if nilGot := RelativeWeightsMasked(meas, nil); len(nilGot) != len(meas) {
+		t.Fatal("nil mask length mismatch")
+	} else {
+		plain := RelativeWeights(meas)
+		for i := range plain {
+			if nilGot[i] != plain[i] {
+				t.Errorf("nil mask slot %d: %v, want %v", i, nilGot[i], plain[i])
+			}
+		}
+	}
+}

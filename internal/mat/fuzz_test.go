@@ -1,0 +1,263 @@
+package mat
+
+// Native fuzz targets for the NNLS core: the workspace solvers and the
+// Cholesky active-set kernel underneath them are the innermost numeric loop
+// of every experiment (millions of calls per figure), so they must never
+// emit NaN/Inf, never return a negative stretch, and never do worse than
+// the zero vector — for any Gram system a randomized candidate pool can
+// produce, including rank-deficient ones (duplicate candidate positions)
+// and wildly scaled columns. Each target derives its random problem from
+// the fuzzed seed through a splitmix64 stream, so every failing input is a
+// compact, perfectly reproducible coordinate.
+//
+// CI runs these for a 20s smoke per target (see .github/workflows/ci.yml);
+// `go test` without -fuzz still executes the seed corpus as regression
+// tests.
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzMix is a splitmix64 step used to expand one fuzz seed into a stream.
+func fuzzMix(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func fuzzFloat(s *uint64) float64 { // uniform in [0, 1)
+	return float64(fuzzMix(s)>>11) / (1 << 53)
+}
+
+// fuzzProblem builds a random m×k least-squares instance from a seed:
+// columns uniform in [0, scale), an optional duplicated column pair (the
+// degenerate two-users-at-one-position case), an optional zero column, and
+// a right-hand side mixing signal and noise so the optimum is nontrivial.
+func fuzzProblem(seed uint64, m, k int) (a *Dense, b []float64) {
+	s := seed
+	scale := math.Pow(10, fuzzFloat(&s)*6-3) // column scales from 1e-3 to 1e3
+	a = NewDense(m, k)
+	for i := 0; i < m; i++ {
+		for j := 0; j < k; j++ {
+			a.Set(i, j, fuzzFloat(&s)*scale)
+		}
+	}
+	if k >= 2 && fuzzMix(&s)%4 == 0 {
+		// Duplicate a column: rank-deficient Gram matrix.
+		for i := 0; i < m; i++ {
+			a.Set(i, 1, a.At(i, 0))
+		}
+	}
+	if k >= 2 && fuzzMix(&s)%5 == 0 {
+		// Zero column: degenerate candidate outside the field.
+		for i := 0; i < m; i++ {
+			a.Set(i, k-1, 0)
+		}
+	}
+	b = make([]float64, m)
+	xTrue := make([]float64, k)
+	for j := range xTrue {
+		xTrue[j] = fuzzFloat(&s) * 3
+	}
+	for i := 0; i < m; i++ {
+		v := 0.0
+		for j := 0; j < k; j++ {
+			v += a.At(i, j) * xTrue[j]
+		}
+		b[i] = v + (fuzzFloat(&s)-0.5)*scale // signal + noise, can go negative
+	}
+	return a, b
+}
+
+// gramOf forms G = AᵀA and d = Aᵀb densely.
+func gramOf(a *Dense, b []float64) (g, d []float64) {
+	k := a.Cols()
+	g = make([]float64, k*k)
+	d = make([]float64, k)
+	for p := 0; p < k; p++ {
+		cp := a.Col(p)
+		d[p] = Dot(cp, b)
+		for q := 0; q < k; q++ {
+			g[p*k+q] = Dot(cp, a.Col(q))
+		}
+	}
+	return g, d
+}
+
+// checkNNLSSolution asserts the universal NNLS contract on x: finite,
+// non-negative, and a residual no worse than the zero vector's.
+func checkNNLSSolution(t *testing.T, a *Dense, b, x []float64, label string) {
+	t.Helper()
+	for j, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s: x[%d] = %v not finite", label, j, v)
+		}
+		if v < 0 {
+			t.Fatalf("%s: x[%d] = %v negative", label, j, v)
+		}
+	}
+	ax, err := a.MulVec(x)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	resid := Norm2(Sub(ax, b))
+	zero := Norm2(b)
+	// The zero vector is always feasible, so the optimum can never beat it
+	// by less than nothing; allow conditioning slack proportional to the
+	// problem scale.
+	if resid > zero*(1+1e-8)+1e-8 {
+		t.Fatalf("%s: residual %v worse than zero-vector residual %v", label, resid, zero)
+	}
+}
+
+// clampDims maps raw fuzz bytes to problem dimensions: k in [1, 6],
+// m in [1, 12] — small enough to be fast, wide enough to cover k > m
+// (underdetermined) and duplicate-column rank deficiency.
+func clampDims(kRaw, mRaw uint8) (k, m int) {
+	return int(kRaw%6) + 1, int(mRaw%12) + 1
+}
+
+// FuzzNNLSGramInto feeds randomized (possibly singular) Gram systems to the
+// allocation-free Gram-space solver.
+func FuzzNNLSGramInto(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(8))
+	f.Add(uint64(42), uint8(1), uint8(1))
+	f.Add(uint64(7), uint8(4), uint8(2))  // k > m: rank-deficient
+	f.Add(uint64(99), uint8(2), uint8(6)) // duplicate-column candidates
+	f.Fuzz(func(t *testing.T, seed uint64, kRaw, mRaw uint8) {
+		k, m := clampDims(kRaw, mRaw)
+		a, b := fuzzProblem(seed, m, k)
+		g, d := gramOf(a, b)
+		var ws NNLSWorkspace
+		x := make([]float64, k)
+		NNLSGramInto(g, d, x, &ws)
+		checkNNLSSolution(t, a, b, x, "NNLSGramInto")
+	})
+}
+
+// FuzzNNLSInto drives the column-space workspace solver (which forms the
+// normal equations itself) and cross-checks it against the explicit
+// Gram-space path: both must produce the same solution bit for bit, since
+// NNLSInto delegates to NNLSGramInto after accumulating the same G and d in
+// a different loop order — catching any asymmetry or aliasing bug in the
+// accumulation.
+func FuzzNNLSInto(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(8))
+	f.Add(uint64(5), uint8(6), uint8(3))
+	f.Add(uint64(11), uint8(2), uint8(12))
+	f.Fuzz(func(t *testing.T, seed uint64, kRaw, mRaw uint8) {
+		k, m := clampDims(kRaw, mRaw)
+		a, b := fuzzProblem(seed, m, k)
+		var ws NNLSWorkspace
+		x := make([]float64, k)
+		if err := NNLSInto(a, b, x, &ws); err != nil {
+			t.Fatal(err)
+		}
+		checkNNLSSolution(t, a, b, x, "NNLSInto")
+
+		g, d := gramOf(a, b)
+		var ws2 NNLSWorkspace
+		x2 := make([]float64, k)
+		NNLSGramInto(g, d, x2, &ws2)
+		checkNNLSSolution(t, a, b, x2, "NNLSGramInto(cross)")
+		// The two accumulations round differently (upper-triangle loop vs
+		// full dot products), so solutions agree to conditioning, not bits.
+		ax1, _ := a.MulVec(x)
+		ax2, _ := a.MulVec(x2)
+		r1, r2 := Norm2(Sub(ax1, b)), Norm2(Sub(ax2, b))
+		scale := math.Max(math.Max(r1, r2), 1e-12)
+		if math.Abs(r1-r2) > 1e-6*scale+1e-9 {
+			t.Fatalf("NNLSInto residual %v vs Gram-path residual %v", r1, r2)
+		}
+	})
+}
+
+// FuzzCholSolve targets the Cholesky kernel of the active-set iteration
+// directly: for a strictly SPD Gram submatrix it must solve the passive-set
+// normal equations accurately, and it must report false (not return
+// garbage) on singular submatrices.
+func FuzzCholSolve(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(6), false)
+	f.Add(uint64(3), uint8(2), uint8(2), true)
+	f.Add(uint64(8), uint8(6), uint8(10), false)
+	f.Fuzz(func(t *testing.T, seed uint64, kRaw, mRaw uint8, makeSingular bool) {
+		k, m := clampDims(kRaw, mRaw)
+		if m < k {
+			m = k // square-or-tall so the SPD branch is reachable
+		}
+		a, b := fuzzProblem(seed, m, k)
+		if makeSingular && k >= 2 {
+			for i := 0; i < m; i++ {
+				a.Set(i, k-1, a.At(i, 0))
+			}
+		} else {
+			// Ridge the diagonal so the matrix is strictly SPD even when
+			// fuzzProblem duplicated or zeroed a column.
+			s := seed ^ 0xabcdef
+			for i := 0; i < m && i < k; i++ {
+				a.Set(i, i, a.At(i, i)+1+fuzzFloat(&s))
+			}
+		}
+		g, d := gramOf(a, b)
+
+		// Random passive subset of the variables, always non-empty.
+		s := seed ^ 0x5eed
+		var idx []int
+		for j := 0; j < k; j++ {
+			if fuzzMix(&s)%2 == 0 {
+				idx = append(idx, j)
+			}
+		}
+		if len(idx) == 0 {
+			idx = append(idx, int(fuzzMix(&s)%uint64(k)))
+		}
+
+		var ws NNLSWorkspace
+		ws.ensure(k)
+		ok := ws.cholSolve(g, d, k, idx)
+		if !ok {
+			return // reported singular: legitimate for these inputs
+		}
+		z := ws.z[:len(idx)]
+		for t2, v := range z {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("cholSolve z[%d] = %v not finite", t2, v)
+			}
+		}
+		// Verify G[idx,idx]·z ≈ d[idx] in a relative sense.
+		var worst, scale float64
+		for _, ji := range idx {
+			sum := 0.0
+			for tj, jj := range idx {
+				sum += g[ji*k+jj] * z[tj]
+			}
+			worst = math.Max(worst, math.Abs(sum-d[ji]))
+			scale = math.Max(scale, math.Abs(d[ji]))
+			for tj := range idx {
+				scale = math.Max(scale, math.Abs(g[ji*k+idx[tj]]*z[tj]))
+			}
+		}
+		if worst > 1e-6*math.Max(scale, 1e-12) {
+			t.Fatalf("cholSolve residual %v at scale %v (idx %v)", worst, scale, idx)
+		}
+	})
+}
+
+// TestNNLSPropertySweep runs the fuzz bodies over a deterministic seed
+// sweep so plain `go test` exercises hundreds of random Gram systems even
+// when fuzzing is off.
+func TestNNLSPropertySweep(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		k := int(seed%6) + 1
+		m := int((seed/6)%12) + 1
+		a, b := fuzzProblem(seed*2654435761, m, k)
+		g, d := gramOf(a, b)
+		var ws NNLSWorkspace
+		x := make([]float64, k)
+		NNLSGramInto(g, d, x, &ws)
+		checkNNLSSolution(t, a, b, x, "sweep")
+	}
+}

@@ -1,0 +1,113 @@
+package obslog
+
+import (
+	"strings"
+	"testing"
+)
+
+const lenientHeader = `{"field":{"min":{"x":0,"y":0},"max":{"x":30,"y":30}},"points":[{"x":1,"y":1}],"hopLength":1}` + "\n"
+
+// TestReadLenientReordersEntries: a shuffled capture comes back time-sorted,
+// while the strict Read rejects it.
+func TestReadLenientReordersEntries(t *testing.T) {
+	input := lenientHeader +
+		`{"time":3,"readings":[30]}
+{"time":1,"readings":[10]}
+{"time":2,"readings":[20]}
+`
+	if _, _, err := Read(strings.NewReader(input)); err == nil {
+		t.Fatal("strict Read accepted out-of-order capture")
+	}
+	_, entries, err := ReadLenient(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(entries))
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if entries[i].Time != want {
+			t.Errorf("entry %d time %v, want %v", i, entries[i].Time, want)
+		}
+		if entries[i].Readings[0] != want*10 {
+			t.Errorf("entry %d reading %v, want %v (payload moved with its timestamp)",
+				i, entries[i].Readings[0], want*10)
+		}
+	}
+}
+
+// TestReadLenientDuplicateLastWins: duplicate round indices keep the last
+// occurrence in file order — the retransmission supersedes the original —
+// even when the duplicates are interleaved with other rounds.
+func TestReadLenientDuplicateLastWins(t *testing.T) {
+	input := lenientHeader +
+		`{"time":1,"readings":[10]}
+{"time":2,"readings":[999]}
+{"time":3,"readings":[30]}
+{"time":2,"readings":[20]}
+{"time":2,"readings":[21]}
+`
+	_, entries, err := ReadLenient(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3 after dedup", len(entries))
+	}
+	want := map[float64]float64{1: 10, 2: 21, 3: 30}
+	for _, e := range entries {
+		if e.Readings[0] != want[e.Time] {
+			t.Errorf("time %v kept reading %v, want %v", e.Time, e.Readings[0], want[e.Time])
+		}
+	}
+}
+
+// TestReadLenientMatchesReadOnCleanStream: on a well-formed strictly
+// increasing capture the two readers agree exactly.
+func TestReadLenientMatchesReadOnCleanStream(t *testing.T) {
+	input := lenientHeader +
+		`{"time":1,"readings":[10]}
+{"time":2.5,"readings":[20]}
+{"time":4,"readings":[30]}
+`
+	hs, strict, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl, lenient, err := ReadLenient(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.HopLength != hl.HopLength || len(hs.Points) != len(hl.Points) {
+		t.Errorf("headers diverge: %+v vs %+v", hs, hl)
+	}
+	if len(strict) != len(lenient) {
+		t.Fatalf("%d strict vs %d lenient entries", len(strict), len(lenient))
+	}
+	for i := range strict {
+		if strict[i].Time != lenient[i].Time || strict[i].Readings[0] != lenient[i].Readings[0] {
+			t.Errorf("entry %d diverges: %+v vs %+v", i, strict[i], lenient[i])
+		}
+	}
+}
+
+// TestReadLenientStillRejectsCorruption: leniency covers ordering only —
+// structural damage stays an error.
+func TestReadLenientStillRejectsCorruption(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"garbage header", "not json\n"},
+		{"reading count mismatch", lenientHeader + `{"time":1,"readings":[1,2]}` + "\n"},
+		{"truncated entry", lenientHeader + `{"time":1,"readi`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := ReadLenient(strings.NewReader(tt.input)); err == nil {
+				t.Error("ReadLenient accepted structurally invalid input")
+			}
+		})
+	}
+}

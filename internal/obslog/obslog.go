@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"fluxtrack/internal/geom"
 )
@@ -79,8 +80,52 @@ func (w *Writer) Append(e Entry) error {
 // file.
 func (w *Writer) Flush() error { return w.bw.Flush() }
 
-// Read parses a complete recording.
+// Read parses a complete recording, requiring entry times to be strictly
+// increasing — the format a well-behaved Writer produces.
 func Read(r io.Reader) (Header, []Entry, error) {
+	h, entries, err := read(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	prev := -1.0
+	for i, e := range entries {
+		if e.Time <= prev {
+			return Header{}, nil, fmt.Errorf("obslog: entry %d time %v not increasing (prev %v)",
+				i, e.Time, prev)
+		}
+		prev = e.Time
+	}
+	return h, entries, nil
+}
+
+// ReadLenient parses a recording whose entries may be out of order or
+// duplicated — the shape a capture takes when a lossy or delayed collection
+// path reorders reports (§4.E asynchronous updating) or a collector retries
+// an upload. Entries are restored to time order with a stable sort, and when
+// several entries share one timestamp the last one in file order wins (it is
+// the retransmission). Structural errors (bad JSON, misaligned reading
+// vectors, invalid header) are still errors: leniency covers ordering, not
+// corruption.
+func ReadLenient(r io.Reader) (Header, []Entry, error) {
+	h, entries, err := read(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Time < entries[j].Time })
+	// Last-wins dedup: stable sort preserved file order within equal times,
+	// so the survivor of each run is the final occurrence.
+	out := entries[:0]
+	for i, e := range entries {
+		if i+1 < len(entries) && entries[i+1].Time == e.Time {
+			continue
+		}
+		out = append(out, e)
+	}
+	return h, out, nil
+}
+
+// read parses the header and raw entry stream without ordering checks.
+func read(r io.Reader) (Header, []Entry, error) {
 	dec := json.NewDecoder(r)
 	var h Header
 	if err := dec.Decode(&h); err != nil {
@@ -93,7 +138,6 @@ func Read(r io.Reader) (Header, []Entry, error) {
 		return Header{}, nil, fmt.Errorf("obslog: header hop length %v invalid", h.HopLength)
 	}
 	var entries []Entry
-	prev := -1.0
 	for {
 		var e Entry
 		if err := dec.Decode(&e); err != nil {
@@ -106,11 +150,6 @@ func Read(r io.Reader) (Header, []Entry, error) {
 			return Header{}, nil, fmt.Errorf("obslog: entry %d has %d readings, want %d",
 				len(entries), len(e.Readings), len(h.Points))
 		}
-		if e.Time <= prev {
-			return Header{}, nil, fmt.Errorf("obslog: entry %d time %v not increasing (prev %v)",
-				len(entries), e.Time, prev)
-		}
-		prev = e.Time
 		entries = append(entries, e)
 	}
 	return h, entries, nil

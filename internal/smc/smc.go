@@ -64,6 +64,14 @@ type Config struct {
 	// with the disc radius halved — the heading carries the information
 	// the larger blind disc would otherwise have to cover.
 	HeadingPrediction bool
+	// StaleAttenuation tunes how much a delayed report's influence decays
+	// in the masked fit of StepMasked: a report that is a rounds old gets
+	// its objective weight divided by 1 + StaleAttenuation·a, so stale
+	// flux constrains the fit more loosely than fresh flux instead of
+	// being trusted verbatim (the §4.E asynchronous regime under the
+	// delayed-delivery fault of internal/fault). Zero means 0.5; negative
+	// disables the deflation (stale reports weigh like fresh ones).
+	StaleAttenuation float64
 	// Workers bounds the goroutines running one tracker round: the per-user
 	// prediction draws, the incumbent-fit kernel columns of the active-set
 	// selection, the candidate-scoring loops of the inner search, and the
@@ -100,6 +108,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Search.Workers == 0 {
 		c.Search.Workers = c.Workers
+	}
+	if c.StaleAttenuation == 0 {
+		c.StaleAttenuation = 0.5
+	}
+	if c.StaleAttenuation < 0 {
+		c.StaleAttenuation = 0
 	}
 	return c
 }
@@ -210,19 +224,97 @@ func New(cfg Config, seed uint64) (*Tracker, error) {
 // Steps returns how many observation rounds the tracker has consumed.
 func (tr *Tracker) Steps() int { return tr.steps }
 
+// ErrAllMasked is returned by Step and StepMasked when a round's
+// observation vector is entirely masked — every sensor failed, lost its
+// report, or has nothing delivered — so there is no flux to fit against.
+// The tracker's state is left untouched: the round is skipped, the per-user
+// Δt keeps growing (the §4.E asynchronous regime), and the next delivered
+// observation resumes tracking. Test with errors.Is.
+var ErrAllMasked = errors.New("smc: observation entirely masked")
+
 // Step consumes the flux observation taken at time t (readings aligned with
 // cfg.SamplePoints) and returns the per-user estimates. Observation times
 // must be strictly increasing.
 func (tr *Tracker) Step(t float64, measured []float64) (StepResult, error) {
-	if len(measured) != len(tr.cfg.SamplePoints) {
-		return StepResult{}, fmt.Errorf("smc: observation length %d, want %d",
-			len(measured), len(tr.cfg.SamplePoints))
+	return tr.StepMasked(t, measured, nil, nil)
+}
+
+// StepMasked is Step over a degraded observation: present marks which
+// sensors delivered a report this round (nil means all), and age gives each
+// delivered report's staleness in rounds (nil means all fresh; aligned with
+// measured where non-nil). Masked sensors drop out of the NLS fit entirely
+// — their columns never enter the objective — and stale reports keep their
+// column but with deflated weight (see Config.StaleAttenuation), so the
+// tracker degrades gracefully under sensor failure, report loss, and
+// delayed delivery (internal/fault) instead of fitting garbage. A round
+// with no delivered reports returns ErrAllMasked and leaves the tracker
+// untouched; a delivered non-finite reading is rejected the same way a
+// malformed observation length is.
+func (tr *Tracker) StepMasked(t float64, measured []float64, present []bool, age []int) (StepResult, error) {
+	n := len(tr.cfg.SamplePoints)
+	if len(measured) != n {
+		return StepResult{}, fmt.Errorf("smc: observation length %d, want %d", len(measured), n)
 	}
+	if present != nil && len(present) != n {
+		return StepResult{}, fmt.Errorf("smc: present mask length %d, want %d", len(present), n)
+	}
+	if age != nil && len(age) != n {
+		return StepResult{}, fmt.Errorf("smc: age vector length %d, want %d", len(age), n)
+	}
+	delivered := n
+	if present != nil {
+		delivered = 0
+		for _, p := range present {
+			if p {
+				delivered++
+			}
+		}
+		if delivered == 0 {
+			return StepResult{}, fmt.Errorf("smc: round at t=%v: %w", t, ErrAllMasked)
+		}
+		if delivered == n {
+			present = nil // full delivery: take the exact unmasked path
+		}
+	}
+	anyStale := false
+	if age != nil {
+		for i, a := range age {
+			if a > 0 && (present == nil || present[i]) {
+				anyStale = true
+				break
+			}
+		}
+		if !anyStale {
+			age = nil
+		}
+	}
+	for i, v := range measured {
+		if present != nil && !present[i] {
+			continue
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return StepResult{}, fmt.Errorf("smc: reading %d is not finite (%v)", i, v)
+		}
+	}
+
 	var weights []float64
 	if tr.cfg.UseRelativeWeights {
-		weights = fit.RelativeWeights(measured)
+		weights = fit.RelativeWeightsMasked(measured, present)
 	}
-	prob, err := fit.NewProblemWeighted(tr.cfg.Model, tr.cfg.SamplePoints, measured, weights)
+	if anyStale && tr.cfg.StaleAttenuation > 0 {
+		if weights == nil {
+			weights = make([]float64, n)
+			for i := range weights {
+				weights[i] = 1
+			}
+		}
+		for i, a := range age {
+			if a > 0 {
+				weights[i] /= 1 + tr.cfg.StaleAttenuation*float64(a)
+			}
+		}
+	}
+	prob, err := fit.NewProblemMasked(tr.cfg.Model, tr.cfg.SamplePoints, measured, weights, present)
 	if err != nil {
 		return StepResult{}, err
 	}
