@@ -1,0 +1,121 @@
+// Command doccheck enforces the repository's documentation floor: every Go
+// package under the given roots must carry a package comment (a doc comment
+// on its package clause, per go/doc conventions). CI runs it over internal/
+// and cmd/ and fails the build when a package is undocumented, so the godoc
+// coverage established by the documentation pass cannot silently erode.
+//
+// Usage:
+//
+//	doccheck [-min n] root [root...]
+//
+// Each root is walked recursively; testdata and hidden directories are
+// skipped, as are test-only packages (*_test). -min sets the minimum
+// comment length in characters (default 1: any comment passes; raise it to
+// outlaw stub comments). Exit status is 1 when any package fails, with one
+// line per offender.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	minLen := flag.Int("min", 1, "minimum package comment length in characters")
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-min n] root [root...]")
+		os.Exit(2)
+	}
+	var bad []string
+	for _, root := range roots {
+		offenders, err := check(root, *minLen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		bad = append(bad, offenders...)
+	}
+	for _, b := range bad {
+		fmt.Println(b)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented package(s)\n", len(bad))
+		os.Exit(1)
+	}
+}
+
+// check walks root and returns one "dir: package p has no package comment"
+// line per offending package, sorted by directory.
+func check(root string, minLen int) ([]string, error) {
+	var bad []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return fs.SkipDir
+		}
+		pkgs, err := parseDir(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for pkgName, docLen := range pkgs {
+			if docLen < minLen {
+				bad = append(bad, fmt.Sprintf("%s: package %s has no package comment", path, pkgName))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(bad)
+	return bad, nil
+}
+
+// parseDir parses just the package clauses (and their doc comments) of the
+// Go files directly in dir and returns, per non-test package, the length of
+// the longest package comment found across its files. Directories with no
+// Go files yield an empty map.
+func parseDir(dir string) (map[string]int, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make(map[string]int)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		name := f.Name.Name
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		docLen := 0
+		if f.Doc != nil {
+			docLen = len(strings.TrimSpace(f.Doc.Text()))
+		}
+		if cur, ok := pkgs[name]; !ok || docLen > cur {
+			pkgs[name] = docLen
+		}
+	}
+	return pkgs, nil
+}

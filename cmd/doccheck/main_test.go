@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoPackagesDocumented is the lint itself in test form: every package
+// under internal/ and cmd/, plus the root package, must carry a package
+// comment. Failing here means a new package landed without one.
+func TestRepoPackagesDocumented(t *testing.T) {
+	root := repoRoot(t)
+	for _, dir := range []string{".", "internal", "cmd"} {
+		offenders, err := check(filepath.Join(root, dir), 1)
+		if err != nil {
+			t.Fatalf("check(%s): %v", dir, err)
+		}
+		for _, o := range offenders {
+			t.Error(o)
+		}
+	}
+}
+
+// TestCheckFlagsUndocumentedPackage pins the detector on a synthetic
+// undocumented package, and its acceptance of a documented one.
+func TestCheckFlagsUndocumentedPackage(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("good/good.go", "// Package good is documented.\npackage good\n")
+	write("bad/bad.go", "package bad\n")
+	write("bad/other.go", "package bad\n")
+	write("bad/testdata/skip/skip.go", "package skip\n") // testdata must be ignored
+	write("bad/bad_test.go", "package bad\n")            // test files must not satisfy the check
+
+	offenders, err := check(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 1 {
+		t.Fatalf("want exactly the bad package flagged, got %q", offenders)
+	}
+	if !strings.Contains(offenders[0], "package bad") {
+		t.Fatalf("offender line %q does not name package bad", offenders[0])
+	}
+
+	// A stub comment passes at -min 1 but fails a raised floor.
+	write("stub/stub.go", "// Package stub.\npackage stub\n")
+	offenders, err = check(filepath.Join(dir, "stub"), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 1 {
+		t.Fatalf("min-length floor not enforced, got %q", offenders)
+	}
+}
+
+// repoRoot walks upward from the working directory to the module root (the
+// directory holding go.mod).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

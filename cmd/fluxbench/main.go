@@ -17,6 +17,13 @@
 //	fluxbench -exp fig7 -dropout 0.2            # 20% of sensors fail permanently
 //	fluxbench -exp fig8a -loss 0.3 -delay 0.2   # lossy + delayed reports
 //
+// Observability (see internal/obs; enabling it never changes a table):
+//
+//	fluxbench -quick -metrics                    # print merged work counters + latency histograms
+//	fluxbench -quick -metricsout metrics.json    # write the counter snapshot as JSON
+//	fluxbench -quick -exp fig7 -trace out.jsonl  # one JSON span per tracker round
+//	fluxbench report metrics.json                # render a saved snapshot (or a -json report)
+//
 // Profiling and report comparison:
 //
 //	fluxbench -quick -cpuprofile cpu.out    # pprof CPU profile of the run
@@ -30,7 +37,9 @@
 //
 // Tables are byte-identical for every -workers value (see internal/exp),
 // and so is tracker output (see internal/smc): -workers trades wall time
-// only, never results.
+// only, never results. The same holds with -metrics and -trace on: the
+// instruments are write-only, and the counter totals themselves are
+// worker-count-invariant (only the latency histograms vary run to run).
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 
 	"fluxtrack/internal/exp"
 	"fluxtrack/internal/fault"
+	"fluxtrack/internal/obs"
 	"fluxtrack/internal/plot"
 )
 
@@ -63,6 +73,9 @@ type benchReport struct {
 	GoVersion    string            `json:"go_version"`
 	Experiments  []benchExperiment `json:"experiments"`
 	TotalSeconds float64           `json:"total_seconds"`
+	// Metrics is the merged observability snapshot of the whole run, present
+	// only when -metrics or -metricsout was given (see internal/obs).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 type benchExperiment struct {
@@ -86,6 +99,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "latency" {
 		return runLatency(args[1:])
 	}
+	if len(args) > 0 && args[0] == "report" {
+		return runReport(args[1:])
+	}
 	fs := flag.NewFlagSet("fluxbench", flag.ContinueOnError)
 	var (
 		quick   = fs.Bool("quick", false, "use the reduced-effort configuration")
@@ -106,6 +122,10 @@ func run(args []string) error {
 		chart   = fs.Bool("chart", false, "render an ASCII bar chart per table column")
 		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		metrics = fs.Bool("metrics", false, "collect work counters and latency histograms; print the merged snapshot at exit")
+		metOut  = fs.String("metricsout", "", "write the metrics snapshot as JSON to this file (implies collection)")
+		trOut   = fs.String("trace", "", "write one JSON span per tracker round to this file (JSON lines)")
+		trCap   = fs.Int("tracecap", 0, "trace ring capacity in spans; oldest spans are overwritten (0 = default 4096)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -173,6 +193,16 @@ func run(args []string) error {
 	if err := cfg.Fault.Validate(); err != nil {
 		return err
 	}
+	var met *obs.Metrics
+	if *metrics || *metOut != "" {
+		met = obs.New(0)
+		cfg.Metrics = met
+	}
+	var trace *obs.Trace
+	if *trOut != "" {
+		trace = obs.NewTrace(*trCap)
+		cfg.Trace = trace
+	}
 
 	experiments := exp.All()
 	if *expID != "" {
@@ -217,6 +247,45 @@ func run(args []string) error {
 	}
 	report.TotalSeconds = time.Since(allStart).Seconds()
 
+	if met != nil {
+		snap := met.Snapshot()
+		report.Metrics = &snap
+		if *metrics {
+			fmt.Println("== metrics")
+			fmt.Print(snap.Format())
+			fmt.Println()
+		}
+		if *metOut != "" {
+			f, err := os.Create(*metOut)
+			if err != nil {
+				return err
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote metrics snapshot to %s\n", *metOut)
+		}
+	}
+	if trace != nil {
+		spans := trace.Snapshot()
+		f, err := os.Create(*trOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteJSONL(f, spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d spans (of %d recorded) to %s\n", len(spans), trace.Total(), *trOut)
+	}
+
 	if *jsonOut != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -227,6 +296,40 @@ func run(args []string) error {
 		}
 		fmt.Printf("wrote benchmark report to %s\n", *jsonOut)
 	}
+	return nil
+}
+
+// runReport renders a saved metrics snapshot as the human-readable table of
+// obs.Snapshot.Format. It accepts either a bare snapshot file (written by
+// -metricsout) or a full -json benchmark report that embeds one.
+func runReport(args []string) error {
+	fs := flag.NewFlagSet("fluxbench report", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: fluxbench report metrics.json (got %d args)", fs.NArg())
+	}
+	path := fs.Arg(0)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep struct {
+		Metrics *obs.Snapshot `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf, &rep); err == nil && rep.Metrics != nil && !rep.Metrics.Empty() {
+		fmt.Print(rep.Metrics.Format())
+		return nil
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if snap.Empty() {
+		return fmt.Errorf("%s: no metrics found (run fluxbench with -metrics, -metricsout, or -json)", path)
+	}
+	fmt.Print(snap.Format())
 	return nil
 }
 

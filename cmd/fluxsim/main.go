@@ -8,6 +8,7 @@
 //	fluxsim -users 2 -deploy random -noise 0.1
 //	fluxsim -users 3 -workers 4   # parallel candidate scoring, same output
 //	fluxsim -users 2 -dropout 0.2 -loss 0.1   # localize from a degraded sniff
+//	fluxsim -users 3 -metrics     # print the run's work counters at exit
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"fluxtrack/internal/fault"
 	"fluxtrack/internal/fit"
 	"fluxtrack/internal/geom"
+	"fluxtrack/internal/obs"
 	"fluxtrack/internal/rng"
 	"fluxtrack/internal/traffic"
 )
@@ -46,6 +48,7 @@ func run(args []string) error {
 		dropout = fs.Float64("dropout", 0, "fraction of sniffed sensors that fail permanently")
 		loss    = fs.Float64("loss", 0, "probability each report is lost this round")
 		stuck   = fs.Float64("stuck", 0, "fraction of sniffed sensors with frozen readings")
+		metrics = fs.Bool("metrics", false, "collect work counters (traffic, fault, NLS search) and print the snapshot at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +71,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var met *obs.Metrics
+	if *metrics {
+		met = obs.New(0)
+		sc.SetMetrics(met)
+	}
 	userSet := traffic.RandomUsers(sc.Field(), *users, 1, 3, src)
 	flux, err := sc.GroundFlux(userSet)
 	if err != nil {
@@ -87,13 +95,14 @@ func run(args []string) error {
 	if err := faultCfg.Validate(); err != nil {
 		return err
 	}
-	opts := fit.Options{Samples: *samples, TopM: 10, Workers: *workers}
+	opts := fit.Options{Samples: *samples, TopM: 10, Workers: *workers, Metrics: met}
 	var res fit.Result
 	if faultCfg.Enabled() {
 		inj, err := sniffer.NewFaultInjector(faultCfg, src.Uint64())
 		if err != nil {
 			return err
 		}
+		inj.SetMetrics(met)
 		deg, err := sniffer.ObserveDegraded(userSet, *noise, inj, src)
 		if err != nil {
 			return err
@@ -130,6 +139,10 @@ func run(args []string) error {
 	mean /= float64(len(errs))
 	fmt.Printf("  mean matched error: %.2f (%.1f%% of field diameter)\n",
 		mean, 100*mean/sc.Field().Diameter())
+	if met != nil {
+		fmt.Println("\nmetrics:")
+		fmt.Print(met.Snapshot().Format())
+	}
 	return nil
 }
 

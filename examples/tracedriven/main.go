@@ -78,6 +78,7 @@ func run() error {
 	}
 	tracker, err := sniffer.NewTracker(len(paths), core.TrackerConfig{
 		N: 400, M: 10, VMax: 5, ActiveSetLimit: 4,
+		Workers: 0, // parallel rounds; the table below is byte-identical at any value
 	}, 11)
 	if err != nil {
 		return err

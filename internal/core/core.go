@@ -30,6 +30,7 @@ import (
 	"fluxtrack/internal/fluxmodel"
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/network"
+	"fluxtrack/internal/obs"
 	"fluxtrack/internal/rng"
 	"fluxtrack/internal/smc"
 	"fluxtrack/internal/traffic"
@@ -122,6 +123,11 @@ func (s *Scenario) Network() *network.Network { return s.net }
 
 // Simulator returns the ground-truth traffic simulator.
 func (s *Scenario) Simulator() *traffic.Simulator { return s.sim }
+
+// SetMetrics binds (or, with nil, unbinds) the observability registry the
+// scenario's traffic simulator reports its traffic.* work counters to; see
+// traffic.Simulator.SetMetrics for the binding contract.
+func (s *Scenario) SetMetrics(m *obs.Metrics) { s.sim.SetMetrics(m) }
 
 // Model returns the calibrated flux model.
 func (s *Scenario) Model() *fluxmodel.Model { return s.model }
@@ -288,6 +294,14 @@ type TrackerConfig struct {
 	// candidate scoring, update); 0 means GOMAXPROCS, 1 forces serial.
 	// Output is identical at any value (see smc.Config.Workers).
 	Workers int
+	// Metrics, when non-nil, receives the tracker's smc.step.* work counters
+	// and latency histogram plus the inner search's fit.* counters. Metrics
+	// are write-only: enabling them never changes tracker output (see
+	// smc.Config.Metrics and internal/obs).
+	Metrics *obs.Metrics
+	// Trace, when non-nil, receives one structured obs.Span per tracker
+	// round (see smc.Config.Trace).
+	Trace *obs.Trace
 }
 
 // NewTracker builds a Sequential Monte Carlo tracker (Algorithm 4.1) that
@@ -306,5 +320,7 @@ func (sn *Sniffer) NewTracker(numUsers int, cfg TrackerConfig, seed uint64) (*sm
 		HeadingPrediction: cfg.HeadingPrediction,
 		StaleAttenuation:  cfg.StaleAttenuation,
 		Workers:           cfg.Workers,
+		Metrics:           cfg.Metrics,
+		Trace:             cfg.Trace,
 	}, seed)
 }

@@ -39,7 +39,7 @@ func BaselineEKF(cfg Config) (Table, error) {
 		smc, ekfB, ekfO, cnlsB, cnlsO float64
 	}
 	trials, err := runTrials(cfg, "ablA6", 0, cfg.Trials, func(trial int, seed uint64) (trialErrs, error) {
-		sc := mustScenario(defaultScenarioCfg(), seed)
+		sc := cfg.scenario(defaultScenarioCfg(), seed)
 		src := rng.New(seed + 17)
 		walk, err := mobility.NewRandomWalk(sc.Field(), src.InRect(sc.Field()), 3, cfg.Rounds+1, src)
 		if err != nil {
@@ -54,7 +54,7 @@ func BaselineEKF(cfg Config) (Table, error) {
 		// SMC tracker (blind initialization, as always).
 		tracker, err := sniffer.NewTracker(1, core.TrackerConfig{
 			N: cfg.TrackN, M: cfg.TrackM, VMax: 5, Search: cfg.trackerSearch(),
-			Workers: cfg.Workers,
+			Workers: cfg.Workers, Metrics: cfg.Metrics, Trace: cfg.Trace,
 		}, seed+1)
 		if err != nil {
 			return trialErrs{}, err
@@ -176,7 +176,7 @@ func AblationHeading(cfg Config) (Table, error) {
 	cells := []int{boolCell(false), boolCell(true)}
 	res, err := runCells(cfg, "ablA7", cells, func(ci, trial int, seed uint64) (headingTrial, error) {
 		heading := cells[ci] == 1
-		sc := mustScenario(defaultScenarioCfg(), seed)
+		sc := cfg.scenario(defaultScenarioCfg(), seed)
 		src := rng.New(seed + 17)
 		sniffer, err := sc.NewSnifferCount(90, src)
 		if err != nil {
@@ -185,6 +185,7 @@ func AblationHeading(cfg Config) (Table, error) {
 		tracker, err := sniffer.NewTracker(1, core.TrackerConfig{
 			N: cfg.TrackN, M: cfg.TrackM, VMax: 5, HeadingPrediction: heading,
 			Search: cfg.trackerSearch(), Workers: cfg.Workers,
+			Metrics: cfg.Metrics, Trace: cfg.Trace,
 		}, seed+1)
 		if err != nil {
 			return headingTrial{}, err

@@ -3,6 +3,16 @@
 // Each experiment returns a Table whose rows regenerate the corresponding
 // figure's data series; cmd/fluxbench prints them and bench_test.go wraps
 // them in testing.B benchmarks.
+//
+// Experiments are registered by id (fig3a … fig10b, abl*, figRobust) in
+// registry.go and share one Config: seeds, trial counts, effort knobs
+// (Samples, TrackN, TrackM, Rounds), a fault.Config for degraded-sensing
+// runs, a Workers count, and optional obs instruments. Trials fan out over
+// the deterministic worker pool in parallel.go and merge in index order, so
+// every rendered table is byte-identical at any worker count — a property
+// pinned by the golden tests in this package. Binding Config.Metrics and
+// Config.Trace threads counters and step spans through every layer of a run
+// without changing any of those bytes (see TestMetricsDoNotPerturbTables).
 package exp
 
 import (
@@ -13,6 +23,7 @@ import (
 	"fluxtrack/internal/fault"
 	"fluxtrack/internal/fit"
 	"fluxtrack/internal/geom"
+	"fluxtrack/internal/obs"
 	"fluxtrack/internal/rng"
 	"fluxtrack/internal/traffic"
 )
@@ -84,6 +95,19 @@ type Config struct {
 	// injector seeded from the trial seed, so fault patterns are byte-stable
 	// at any worker count like everything else in this package.
 	Fault fault.Config
+	// Metrics, when non-nil, receives work counters and latency histograms
+	// from every layer the experiments touch: the harness pool (exp.pool.*,
+	// exp.trial.wall_ms), the SMC tracker (smc.step.*), the inner NLS search
+	// (fit.search.*, fit.nnls.*), the traffic simulator (traffic.*), and the
+	// fault injector (fault.*). Metrics are write-only — enabling them never
+	// changes a rendered Table, and every counter total is worker-count
+	// invariant (TestMetricsDoNotPerturbTables pins both properties). Nil
+	// disables all instrumentation.
+	Metrics *obs.Metrics
+	// Trace, when non-nil, receives one obs.Span per tracker round across
+	// all tracking trials (spans carry the trial seed, so a shared ring
+	// disentangles). Nil disables span collection.
+	Trace *obs.Trace
 }
 
 // DefaultConfig returns the paper-faithful settings (§5): 10,000 samples
@@ -122,13 +146,13 @@ func (c Config) withDefaults() Config {
 // carrying the Workers knob into the inner candidate-scoring loops (the
 // hottest loop of instant localization at the paper's Samples=10000).
 func (c Config) searchOpts(samples int, seed uint64) fit.Options {
-	return fit.Options{Samples: samples, TopM: 10, Seed: seed, Workers: c.Workers}
+	return fit.Options{Samples: samples, TopM: 10, Seed: seed, Workers: c.Workers, Metrics: c.Metrics}
 }
 
 // trackerSearch builds the inner-search options for the SMC tracker,
 // bounded by the same Workers knob as the trial pool.
 func (c Config) trackerSearch() fit.Options {
-	return fit.Options{Workers: c.Workers}
+	return fit.Options{Workers: c.Workers, Metrics: c.Metrics}
 }
 
 // trialSeed derives a deterministic seed for one (experiment, cell, trial)
@@ -197,5 +221,15 @@ func mustScenario(cfg core.ScenarioConfig, seed uint64) *core.Scenario {
 	if err != nil {
 		panic(fmt.Sprintf("exp: scenario: %v", err))
 	}
+	return sc
+}
+
+// scenario builds one trial's world and binds the harness metrics registry
+// to its traffic simulator, so the traffic.* counters cover localization and
+// tracking trials alike. Each trial owns its scenario, so the bind is
+// race-free by construction.
+func (c Config) scenario(scc core.ScenarioConfig, seed uint64) *core.Scenario {
+	sc := mustScenario(scc, seed)
+	sc.SetMetrics(c.Metrics)
 	return sc
 }

@@ -99,7 +99,7 @@ func traceTrial(cfg Config, kind deploy.Kind, sampleFrac float64, vmax float64, 
 	}
 	scc := defaultScenarioCfg()
 	scc.Deployment = kind
-	sc := mustScenario(scc, seed+1)
+	sc := cfg.scenario(scc, seed+1)
 	src := rng.New(seed + 2)
 	sniffer, err := sc.NewSniffer(sampleFrac, src)
 	if err != nil {
@@ -108,6 +108,7 @@ func traceTrial(cfg Config, kind deploy.Kind, sampleFrac float64, vmax float64, 
 	tracker, err := sniffer.NewTracker(len(run.paths), core.TrackerConfig{
 		N: cfg.TrackN, M: cfg.TrackM, VMax: vmax, ActiveSetLimit: 4,
 		Search: cfg.trackerSearch(), Workers: cfg.Workers,
+		Metrics: cfg.Metrics, Trace: cfg.Trace,
 	}, seed+3)
 	if err != nil {
 		return 0, err

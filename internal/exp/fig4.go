@@ -40,7 +40,7 @@ func Fig4(cfg Config) (Table, error) {
 	trials, err := runTrials(cfg, "fig4", 0, cfg.Trials,
 		func(trial int, seed uint64) ([]roundResult, error) {
 			src := rng.New(seed)
-			sc := mustScenario(defaultScenarioCfg(), seed)
+			sc := cfg.scenario(defaultScenarioCfg(), seed)
 			users := traffic.RandomUsers(sc.Field(), 3, 1, 3, src)
 			flux, err := sc.GroundFlux(users)
 			if err != nil {

@@ -48,7 +48,7 @@ func Fig5(cfg Config) (Table, error) {
 	}
 	ks := []int{1, 2, 3}
 	res, err := runCells(cfg, "fig5", ks, func(ci, trial int, seed uint64) ([]float64, error) {
-		sc := mustScenario(defaultScenarioCfg(), seed)
+		sc := cfg.scenario(defaultScenarioCfg(), seed)
 		src := rng.New(seed + 17)
 		return localizeTrial(cfg, sc, ks[ci], sc.Network().Len(), cfg.Samples, src)
 	})
@@ -100,7 +100,7 @@ func Fig6a(cfg Config) (Table, error) {
 		}
 	}
 	res, err := runCells(cfg, "fig6a", cells, func(ci, trial int, seed uint64) ([]float64, error) {
-		sc := mustScenario(defaultScenarioCfg(), seed)
+		sc := cfg.scenario(defaultScenarioCfg(), seed)
 		src := rng.New(seed + 17)
 		count := sc.Network().Len() * specs[ci].pct / 100
 		return localizeTrial(cfg, sc, specs[ci].k, count, sparseSearchSamples(cfg), src)
@@ -146,7 +146,7 @@ func Fig6b(cfg Config) (Table, error) {
 	res, err := runCells(cfg, "fig6b", cells, func(ci, trial int, seed uint64) ([]float64, error) {
 		scc := defaultScenarioCfg()
 		scc.Nodes = specs[ci].nodes
-		sc := mustScenario(scc, seed)
+		sc := cfg.scenario(scc, seed)
 		src := rng.New(seed + 17)
 		return localizeTrial(cfg, sc, specs[ci].k, 90, sparseSearchSamples(cfg), src)
 	})
@@ -183,7 +183,7 @@ func AblationSearch(cfg Config) (Table, error) {
 		same                             bool
 	}
 	trials, err := runTrials(cfg, "ablA1", 0, cfg.Trials, func(trial int, seed uint64) (searchTrial, error) {
-		sc := mustScenario(defaultScenarioCfg(), seed)
+		sc := cfg.scenario(defaultScenarioCfg(), seed)
 		src := rng.New(seed + 17)
 		sniffer, err := sc.NewSnifferCount(90, src)
 		if err != nil {
@@ -270,7 +270,7 @@ func Countermeasure(cfg Config) (Table, error) {
 	}
 	res, err := runCells(cfg, "counter", cells, func(ci, trial int, seed uint64) ([]float64, error) {
 		amp := amps[ci]
-		sc := mustScenario(defaultScenarioCfg(), seed)
+		sc := cfg.scenario(defaultScenarioCfg(), seed)
 		src := rng.New(seed + 17)
 		users := traffic.RandomUsers(sc.Field(), 2, 1, 3, src)
 		flux, err := sc.GroundFlux(users)

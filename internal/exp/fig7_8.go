@@ -38,6 +38,7 @@ func trackTrial(cfg Config, sc *core.Scenario, trajectories []mobility.Trajector
 	tracker, err := sniffer.NewTracker(k, core.TrackerConfig{
 		N: cfg.TrackN, M: cfg.TrackM, VMax: vmax, UniformWeights: uniformWeights,
 		Search: cfg.trackerSearch(), Workers: cfg.Workers,
+		Metrics: cfg.Metrics, Trace: cfg.Trace,
 	}, src.Uint64())
 	if err != nil {
 		return nil, err
@@ -50,6 +51,7 @@ func trackTrial(cfg Config, sc *core.Scenario, trajectories []mobility.Trajector
 		if err != nil {
 			return nil, err
 		}
+		inj.SetMetrics(cfg.Metrics)
 	}
 	// Estimates persist across rounds so a fully masked round scores the
 	// previous round's belief; before any round succeeds, the best
@@ -157,7 +159,7 @@ func Fig7(cfg Config) (Table, error) {
 		cs := cs
 		trials, err := runTrials(cfg, "fig7"+cs.name, ci, cfg.Trials,
 			func(trial int, seed uint64) ([]float64, error) {
-				sc := mustScenario(defaultScenarioCfg(), seed)
+				sc := cfg.scenario(defaultScenarioCfg(), seed)
 				src := rng.New(seed + 17)
 				trajs, err := cs.traj(sc, src)
 				if err != nil {
@@ -212,7 +214,7 @@ func Fig8a(cfg Config) (Table, error) {
 		}
 	}
 	res, err := runCells(cfg, "fig8a", cells, func(ci, trial int, seed uint64) (float64, error) {
-		sc := mustScenario(defaultScenarioCfg(), seed)
+		sc := cfg.scenario(defaultScenarioCfg(), seed)
 		src := rng.New(seed + 17)
 		trajs, err := randomWalks(sc, specs[ci].k, 4, cfg.Rounds, src)
 		if err != nil {
@@ -262,7 +264,7 @@ func Fig8b(cfg Config) (Table, error) {
 	res, err := runCells(cfg, "fig8b", cells, func(ci, trial int, seed uint64) (float64, error) {
 		scc := defaultScenarioCfg()
 		scc.Nodes = specs[ci].nodes
-		sc := mustScenario(scc, seed)
+		sc := cfg.scenario(scc, seed)
 		src := rng.New(seed + 17)
 		trajs, err := randomWalks(sc, specs[ci].k, 4, cfg.Rounds, src)
 		if err != nil {
@@ -301,7 +303,7 @@ func AblationImportance(cfg Config) (Table, error) {
 	cells := []int{boolCell(false), boolCell(true)}
 	res, err := runCells(cfg, "ablA2", cells, func(ci, trial int, seed uint64) (float64, error) {
 		uniform := cells[ci] == 1
-		sc := mustScenario(defaultScenarioCfg(), seed)
+		sc := cfg.scenario(defaultScenarioCfg(), seed)
 		src := rng.New(seed + 17)
 		trajs, err := randomWalks(sc, 2, 4, cfg.Rounds, src)
 		if err != nil {

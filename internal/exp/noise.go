@@ -27,7 +27,7 @@ func NoiseRobustness(cfg Config) (Table, error) {
 	}
 	res, err := runCells(cfg, "noise", cells, func(ci, trial int, seed uint64) ([]float64, error) {
 		sigma := sigmas[ci]
-		sc := mustScenario(defaultScenarioCfg(), seed)
+		sc := cfg.scenario(defaultScenarioCfg(), seed)
 		src := rng.New(seed + 17)
 		sniffer, err := sc.NewSnifferCount(90, src)
 		if err != nil {

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"fluxtrack/internal/fault"
+	"fluxtrack/internal/obs"
+)
+
+// renderObserved runs one experiment with a metrics registry and trace ring
+// bound and returns the rendered table plus the merged counter values.
+func renderObserved(t *testing.T, e Experiment, workers int, fc fault.Config) (string, []obs.CounterValue) {
+	t.Helper()
+	cfg := goldenConfig()
+	cfg.Workers = workers
+	cfg.Fault = fc
+	cfg.Metrics = obs.New(0)
+	cfg.Trace = obs.NewTrace(256)
+	tbl, err := e.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s workers=%d observed: %v", e.ID, workers, err)
+	}
+	return tbl.Render(), cfg.Metrics.Snapshot().Counters
+}
+
+// TestMetricsDoNotPerturbTables is the harness-level observability contract
+// (referenced by the internal/obs package doc): enabling metrics and step
+// tracing must leave every rendered table byte-identical to the
+// uninstrumented run at any worker count, and the counter totals themselves
+// must be worker-count-invariant — only wall-clock histograms may vary.
+// A representative slice of the registry keeps the test fast while covering
+// localization (fig5), tracking (fig7), and the active-set/trace pipeline
+// (fig10a).
+func TestMetricsDoNotPerturbTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden determinism suite skipped in -short mode")
+	}
+	for _, id := range []string{"fig5", "fig7", "fig10a"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain := renderAt(t, e, 1, 1)
+			seq, seqCtrs := renderObserved(t, e, 1, fault.Config{})
+			if seq != plain {
+				t.Errorf("%s: metrics+trace changed the Workers=1 table:\n--- plain\n%s--- observed\n%s", id, plain, seq)
+			}
+			par, parCtrs := renderObserved(t, e, 4, fault.Config{})
+			if par != plain {
+				t.Errorf("%s: metrics+trace changed the Workers=4 table:\n--- plain\n%s--- observed\n%s", id, plain, par)
+			}
+			if len(seqCtrs) == 0 {
+				t.Fatalf("%s: observed run produced no counters", id)
+			}
+			if !reflect.DeepEqual(seqCtrs, parCtrs) {
+				t.Errorf("%s: counter totals differ across worker counts:\nworkers=1: %+v\nworkers=4: %+v", id, seqCtrs, parCtrs)
+			}
+		})
+	}
+}
+
+// TestMetricsFaultCounters extends the contract to degraded sensing: with
+// faults on, the fault.* counters must appear, count real events, and stay
+// worker-count-invariant alongside byte-identical tables.
+func TestMetricsFaultCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden determinism suite skipped in -short mode")
+	}
+	fc := fault.Config{DropoutFrac: 0.15, LossProb: 0.10, DelayProb: 0.20, DelayRounds: 1, StuckFrac: 0.05}
+	e, err := ByID("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, seqCtrs := renderObserved(t, e, 1, fc)
+	par, parCtrs := renderObserved(t, e, 8, fc)
+	if seq != par {
+		t.Errorf("fig7 with faults: observed tables differ across worker counts:\n--- workers=1\n%s--- workers=8\n%s", seq, par)
+	}
+	if !reflect.DeepEqual(seqCtrs, parCtrs) {
+		t.Errorf("fault counter totals differ across worker counts:\nworkers=1: %+v\nworkers=8: %+v", seqCtrs, parCtrs)
+	}
+	byName := make(map[string]uint64, len(seqCtrs))
+	for _, c := range seqCtrs {
+		byName[c.Name] = c.Value
+	}
+	if byName["fault.rounds"] == 0 {
+		t.Error("fault.rounds counter never incremented under an enabled fault config")
+	}
+	if byName["fault.lost"]+byName["fault.dead"]+byName["fault.delayed"] == 0 {
+		t.Error("no fault events counted under an enabled fault config")
+	}
+}

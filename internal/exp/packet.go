@@ -14,7 +14,7 @@ import (
 // the wave, and the NLS fit runs on those counts. aggregated switches on
 // TAG-style in-network aggregation.
 func packetTrial(cfg Config, k int, aggregated bool, seed uint64) ([]float64, error) {
-	sc := mustScenario(defaultScenarioCfg(), seed)
+	sc := cfg.scenario(defaultScenarioCfg(), seed)
 	src := rng.New(seed + 17)
 	users := traffic.RandomUsers(sc.Field(), k, 1, 3, src)
 
@@ -68,7 +68,7 @@ func AblationPacketLevel(cfg Config) (Table, error) {
 	// Fluid path: identical workload through the standard sniffer.
 	fluidTrials, err := runTrials(cfg, "ablA8fluid", 0, cfg.Trials,
 		func(trial int, seed uint64) ([]float64, error) {
-			sc := mustScenario(defaultScenarioCfg(), seed)
+			sc := cfg.scenario(defaultScenarioCfg(), seed)
 			src := rng.New(seed + 17)
 			return localizeTrial(cfg, sc, 2, 90, sparseSearchSamples(cfg), src)
 		})

@@ -16,6 +16,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"fluxtrack/internal/obs"
 )
 
 // workerCount resolves the Workers knob: values above 1 bound the pool,
@@ -75,6 +78,47 @@ func forEachUnit(workers, n int, fn func(i int) error) error {
 	return nil
 }
 
+// poolObs holds the harness-level instruments bound from Config.Metrics:
+// how many (cell, trial) units ran, each unit's wall clock, and the pool
+// queue depth at unit dispatch. The units counter is a deterministic work
+// count; the histograms record wall time and dispatch-order depth (units are
+// handed out in index order, so even the depth distribution is
+// worker-count-invariant). The zero value is the disabled instrument set.
+type poolObs struct {
+	units *obs.Counter   // exp.pool.units
+	wall  *obs.Histogram // exp.trial.wall_ms
+	depth *obs.Histogram // exp.pool.queue_depth
+}
+
+func (c Config) poolObs() poolObs {
+	if c.Metrics == nil {
+		return poolObs{}
+	}
+	return poolObs{
+		units: c.Metrics.Counter("exp.pool.units"),
+		wall:  c.Metrics.Histogram("exp.trial.wall_ms", obs.DurationBucketsMs),
+		depth: c.Metrics.Histogram("exp.pool.queue_depth", obs.CountBuckets),
+	}
+}
+
+// start stamps a unit's dispatch time; the zero time when disabled.
+func (p poolObs) start() time.Time {
+	if p.units == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observe flushes one finished unit, sharding by its index.
+func (p poolObs) observe(unit, total int, t0 time.Time) {
+	if p.units == nil {
+		return
+	}
+	p.units.Inc(unit)
+	p.wall.Observe(unit, float64(time.Since(t0).Nanoseconds())/1e6)
+	p.depth.Observe(unit, float64(total-1-unit))
+}
+
 // runTrials runs the n trials of one experiment cell on the worker pool and
 // returns the per-trial results indexed by trial number. Each trial
 // receives its own seed from Config.trialSeed, so the randomness a trial
@@ -82,9 +126,12 @@ func forEachUnit(workers, n int, fn func(i int) error) error {
 // executes it, and reducing the returned slice in index order reproduces
 // the sequential reduction byte for byte.
 func runTrials[T any](cfg Config, expID string, cell, n int, fn func(trial int, seed uint64) (T, error)) ([]T, error) {
+	pool := cfg.poolObs()
 	out := make([]T, n)
 	err := forEachUnit(cfg.workerCount(), n, func(trial int) error {
+		t0 := pool.start()
 		v, err := fn(trial, cfg.trialSeed(expID, cell, trial))
+		pool.observe(trial, n, t0)
 		if err != nil {
 			return err
 		}
@@ -109,9 +156,12 @@ func runCells[T any](cfg Config, expID string, cells []int, fn func(cellIdx, tri
 	for i := range out {
 		out[i] = make([]T, n)
 	}
+	pool := cfg.poolObs()
 	err := forEachUnit(cfg.workerCount(), len(cells)*n, func(u int) error {
 		ci, trial := u/n, u%n
+		t0 := pool.start()
 		v, err := fn(ci, trial, cfg.trialSeed(expID, cells[ci], trial))
+		pool.observe(u, len(cells)*n, t0)
 		if err != nil {
 			return err
 		}

@@ -44,7 +44,7 @@ func FigRobust(cfg Config) (Table, error) {
 		// at small trial counts.
 		trials, err := runTrials(cfg, "figRobust", 0, cfg.Trials,
 			func(trial int, seed uint64) ([]float64, error) {
-				sc := mustScenario(defaultScenarioCfg(), seed)
+				sc := cfg.scenario(defaultScenarioCfg(), seed)
 				src := rng.New(seed + 17)
 				trajs, err := randomWalks(sc, 2, 4, cfg.Rounds, src)
 				if err != nil {

@@ -26,6 +26,8 @@ package fault
 import (
 	"fmt"
 	"math"
+
+	"fluxtrack/internal/obs"
 )
 
 // Config selects which faults an Injector applies and how hard. The zero
@@ -150,6 +152,46 @@ type Injector struct {
 	// pending[i] holds sensor i's delayed reports, in origin order.
 	pending [][]pendingReport
 	round   int
+
+	// met holds the bound fault.* counter handles; the zero value is the
+	// disabled instrument set.
+	met injectorMetrics
+}
+
+// injectorMetrics caches the injector's counter handles. Every counter is a
+// deterministic count — which faults fire is a pure function of the injector
+// seed and the round index — so totals are identical at any worker count.
+type injectorMetrics struct {
+	m              *obs.Metrics
+	shard          int
+	rounds         *obs.Counter // fault.rounds
+	deliveredFresh *obs.Counter // fault.delivered_fresh
+	deliveredStale *obs.Counter // fault.delivered_stale
+	dead           *obs.Counter // fault.dead: reports swallowed by hard failure
+	lost           *obs.Counter // fault.lost: reports dropped outright
+	delayed        *obs.Counter // fault.delayed: reports put in flight
+	stuck          *obs.Counter // fault.stuck: readings frozen at a stale value
+}
+
+// SetMetrics binds (or, with nil, unbinds) the observability registry the
+// injector reports its fault.* counters to. Metrics are write-only and never
+// change which faults fire. Bind once, before the first Apply.
+func (in *Injector) SetMetrics(m *obs.Metrics) {
+	if m == nil {
+		in.met = injectorMetrics{}
+		return
+	}
+	in.met = injectorMetrics{
+		m:              m,
+		shard:          int(in.seed),
+		rounds:         m.Counter("fault.rounds"),
+		deliveredFresh: m.Counter("fault.delivered_fresh"),
+		deliveredStale: m.Counter("fault.delivered_stale"),
+		dead:           m.Counter("fault.dead"),
+		lost:           m.Counter("fault.lost"),
+		delayed:        m.Counter("fault.delayed"),
+		stuck:          m.Counter("fault.stuck"),
+	}
 }
 
 // mix64 is the splitmix64 finalizer, the same bijection the SMC tracker
@@ -234,16 +276,22 @@ func (in *Injector) Apply(readings []float64) (Observation, error) {
 	}
 	r := in.round
 	in.round++
-	obs := Observation{
+	out := Observation{
 		Readings: make([]float64, in.n),
 		Present:  make([]bool, in.n),
 		Age:      make([]int, in.n),
 	}
+	// Per-kind tallies accumulate in locals and flush into the counters once
+	// per Apply, so the hot loop pays no atomics when metrics are bound and
+	// nothing at all when they are not.
+	var nFresh, nStale, nDead, nLost, nDelayed, nStuck uint64
 	for i, v := range readings {
 		// Stuck sensors freeze at the first value they would have reported.
 		if in.stuck[i] {
 			if !in.stuckSet[i] {
 				in.stuckVal[i], in.stuckSet[i] = v, true
+			} else {
+				nStuck++
 			}
 			v = in.stuckVal[i]
 		}
@@ -252,14 +300,17 @@ func (in *Injector) Apply(readings []float64) (Observation, error) {
 		// dead sensor's radio is gone.
 		if r > in.lastAlive[i] {
 			in.pending[i] = in.pending[i][:0]
+			nDead++
 			continue
 		}
 
 		fresh := true
 		if in.cfg.LossProb > 0 && in.draw(r, i, saltLoss) < in.cfg.LossProb {
 			fresh = false // lost outright, never delivered
+			nLost++
 		} else if in.cfg.DelayProb > 0 && in.draw(r, i, saltDelay) < in.cfg.DelayProb {
 			fresh = false
+			nDelayed++
 			in.pending[i] = append(in.pending[i], pendingReport{
 				origin: r, arrive: r + in.cfg.DelayRounds, value: v,
 			})
@@ -268,8 +319,9 @@ func (in *Injector) Apply(readings []float64) (Observation, error) {
 		if fresh {
 			// A fresh report supersedes anything still in flight: the
 			// consumer would discard older data for this sensor anyway.
-			obs.Readings[i], obs.Present[i], obs.Age[i] = v, true, 0
+			out.Readings[i], out.Present[i], out.Age[i] = v, true, 0
 			in.pending[i] = in.pending[i][:0]
+			nFresh++
 			continue
 		}
 		// No fresh report: deliver the newest matured delayed report, if
@@ -288,8 +340,19 @@ func (in *Injector) Apply(readings []float64) (Observation, error) {
 		}
 		in.pending[i] = q
 		if bestOrigin >= 0 {
-			obs.Readings[i], obs.Present[i], obs.Age[i] = bestVal, true, r-bestOrigin
+			out.Readings[i], out.Present[i], out.Age[i] = bestVal, true, r-bestOrigin
+			nStale++
 		}
 	}
-	return obs, nil
+	if in.met.m != nil {
+		w := in.met.shard
+		in.met.rounds.Inc(w)
+		in.met.deliveredFresh.Add(w, nFresh)
+		in.met.deliveredStale.Add(w, nStale)
+		in.met.dead.Add(w, nDead)
+		in.met.lost.Add(w, nLost)
+		in.met.delayed.Add(w, nDelayed)
+		in.met.stuck.Add(w, nStuck)
+	}
+	return out, nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"fluxtrack/internal/fluxmodel"
 	"fluxtrack/internal/geom"
+	"fluxtrack/internal/obs"
 	"fluxtrack/internal/par"
 	"fluxtrack/internal/rng"
 )
@@ -168,6 +169,13 @@ type Options struct {
 	// Candidate evaluations are independent, so parallel and serial runs
 	// produce identical results. Zero means GOMAXPROCS; 1 forces serial.
 	Workers int
+	// Metrics, when non-nil, receives the search's work counters
+	// (fit.search.calls, fit.search.columns, fit.nnls.solves,
+	// fit.nnls.iters). Metrics are write-only: enabling them never changes
+	// search results, and the counter totals are themselves
+	// worker-count-invariant because every counted unit of work is. Nil
+	// disables instrumentation at the cost of one branch per search.
+	Metrics *obs.Metrics
 }
 
 func (o Options) withDefaults() Options {

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"fluxtrack/internal/geom"
+	"fluxtrack/internal/obs"
 	"fluxtrack/internal/rng"
 )
 
@@ -38,10 +39,69 @@ type Searcher struct {
 	// One-shot Evaluate buffers.
 	oneShot  []candCol
 	oneArena []float64
+
+	// met holds the bound observability handles (see SetMetrics); the zero
+	// value is the disabled instrument set, costing one nil branch per site.
+	met searchMetrics
 }
 
 // NewSearcher returns an empty Searcher.
 func NewSearcher() *Searcher { return &Searcher{} }
+
+// searchMetrics caches the Searcher's counter handles so the hot paths
+// never pay a registry lookup.
+type searchMetrics struct {
+	m       *obs.Metrics
+	calls   *obs.Counter // fit.search.calls: Search/Evaluate invocations
+	columns *obs.Counter // fit.search.columns: candidate kernel columns filled
+	solves  *obs.Counter // fit.nnls.solves: composition NNLS solves
+	iters   *obs.Counter // fit.nnls.iters: active-set NNLS iterations
+}
+
+// SetMetrics binds (or, with nil, unbinds) the Searcher's work counters.
+// Search also binds lazily from Options.Metrics, but callers that go
+// through Evaluate/EvaluateWorkers only (the SMC incumbent fit) must bind
+// explicitly. Rebinding to the same registry is a no-op.
+func (s *Searcher) SetMetrics(m *obs.Metrics) {
+	if m == nil {
+		s.met = searchMetrics{}
+		return
+	}
+	if s.met.m == m {
+		return
+	}
+	s.met = searchMetrics{
+		m:       m,
+		calls:   m.Counter("fit.search.calls"),
+		columns: m.Counter("fit.search.columns"),
+		solves:  m.Counter("fit.nnls.solves"),
+		iters:   m.Counter("fit.nnls.iters"),
+	}
+}
+
+// WorkTotals returns the cumulative NNLS solve and active-set iteration
+// counts across every worker scratch this Searcher has created. The SMC
+// tracker reads it before and after a round's searches to attribute NNLS
+// effort to the round's trace span; totals are worker-count-invariant
+// because each composition is solved exactly once no matter the sharding.
+func (s *Searcher) WorkTotals() (solves, iters uint64) {
+	for _, sc := range s.scratch {
+		solves += sc.ws.Solves
+		iters += sc.ws.Iters
+	}
+	return solves, iters
+}
+
+// recordWork flushes the NNLS work performed since the given baseline into
+// the bound counters. No-op when metrics are unbound.
+func (s *Searcher) recordWork(solves0, iters0 uint64) {
+	if s.met.m == nil {
+		return
+	}
+	solves1, iters1 := s.WorkTotals()
+	s.met.solves.Add(0, solves1-solves0)
+	s.met.iters.Add(0, iters1-iters0)
+}
 
 // growFloats resizes *buf to length n, reusing its capacity when possible.
 func growFloats(buf *[]float64, n int) []float64 {
@@ -70,6 +130,12 @@ func (s *Searcher) EvaluateWorkers(p *Problem, positions []geom.Point, workers i
 		return Eval{}, errors.New("fit: no candidate positions")
 	}
 	n, k := len(p.points), len(positions)
+	var solves0, iters0 uint64
+	if s.met.m != nil {
+		s.met.calls.Inc(0)
+		s.met.columns.Add(0, uint64(k))
+		solves0, iters0 = s.WorkTotals()
+	}
 	if cap(s.oneArena) < k*n {
 		s.oneArena = make([]float64, k*n)
 	}
@@ -90,6 +156,7 @@ func (s *Searcher) EvaluateWorkers(p *Problem, positions []geom.Point, workers i
 		sc.setCol(j, &cc[j])
 	}
 	obj := sc.solve(p)
+	s.recordWork(solves0, iters0)
 	return makeEval(positions, sc.x[:k], obj), nil
 }
 
@@ -105,6 +172,20 @@ func (s *Searcher) Search(p *Problem, candidates [][]geom.Point, opts Options) (
 		if len(c) == 0 {
 			return Result{}, fmt.Errorf("fit: user %d has no candidates", j)
 		}
+	}
+	if opts.Metrics != nil {
+		s.SetMetrics(opts.Metrics)
+	}
+	var solves0, iters0 uint64
+	if s.met.m != nil {
+		s.met.calls.Inc(0)
+		nCols := 0
+		for _, cs := range candidates {
+			nCols += len(cs)
+		}
+		s.met.columns.Add(0, uint64(nCols))
+		solves0, iters0 = s.WorkTotals()
+		defer func() { s.recordWork(solves0, iters0) }()
 	}
 	if err := s.prepare(p, candidates, opts.Workers); err != nil {
 		return Result{}, err

@@ -1,7 +1,16 @@
 // Package geom provides the planar geometry primitives used throughout the
-// flux-fingerprinting pipeline: points, rectangles, and the ray/boundary
-// intersection that defines the model parameter l (the distance from a mobile
-// sink to the network boundary along the direction of an observed node).
+// flux-fingerprinting pipeline: points, vectors, rectangles, and the
+// ray/boundary intersection that defines the model parameter l (the
+// distance from a mobile sink to the network boundary along the direction
+// of an observed node, §3.B of the paper).
+//
+// Everything is value-typed and allocation-free: Point and Vec are plain
+// float64 pairs, Rect operations (Contains, Clamp, Center, Diameter) are
+// pure functions, and RayToBoundary walks the four sides directly. The
+// deployment generators (internal/deploy), the flux model
+// (internal/fluxmodel), and the samplers of internal/rng all build on these
+// types, so their conventions — origin at Rect.Min, y growing upward —
+// propagate through the whole repository.
 package geom
 
 import (

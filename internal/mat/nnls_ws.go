@@ -17,6 +17,17 @@ type NNLSWorkspace struct {
 	chol    []float64 // dense lower-triangular Cholesky factor, m×m row-major
 	gram    []float64 // k×k Gram buffer (NNLSInto only)
 	proj    []float64 // k projection buffer (NNLSInto only)
+
+	// Solves and Iters are cumulative work meters, maintained by every
+	// solve through this workspace: Solves counts NNLSGramInto calls and
+	// Iters the active-set (outer) iterations they burned; the k=1
+	// closed-form path counts as a solve with zero iterations. They are
+	// plain (non-atomic) fields — a workspace is single-goroutine by
+	// contract — and exist so the observability layer (internal/obs via
+	// fit.Searcher) can report NNLS effort without touching the solver's
+	// hot loop. Callers that want per-call deltas read before and after.
+	Solves uint64
+	Iters  uint64
 }
 
 // ensure grows the workspace to dimension k.
@@ -62,6 +73,7 @@ func NNLSGramInto(g, d, x []float64, ws *NNLSWorkspace) {
 	if len(g) != k*k || len(x) != k {
 		panic(fmt.Sprintf("mat: NNLSGramInto dimension mismatch: gram %d, d %d, x %d", len(g), len(d), len(x)))
 	}
+	ws.Solves++
 	if k == 1 {
 		// Closed form: one variable enters iff its gradient at zero is
 		// positive and its column is non-degenerate.
@@ -79,6 +91,7 @@ func NNLSGramInto(g, d, x []float64, ws *NNLSWorkspace) {
 
 	maxOuter := 3 * k
 	for outer := 0; outer < maxOuter; outer++ {
+		ws.Iters++
 		// Gradient w = d − G x over the active (clamped) variables; pick the
 		// most positive one.
 		best, bestVal := -1, float64(nnlsGramTol)

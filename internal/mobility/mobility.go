@@ -2,6 +2,15 @@
 // evaluation: straight-line trajectories for the instant tracking cases
 // (Fig 7), speed-bounded random walks, and waypoint paths (the shape the
 // campus traces reduce to).
+//
+// A model is any Trajectory: a function At(t) from observation time to a
+// position inside the field. Linear, Waypoint, and Static are deterministic
+// given their construction; RandomWalk draws turns from an explicit
+// *rng.Source, so walks replay exactly under a fixed seed. The walk's speed
+// bound is the same constant the SMC tracker's motion prior (internal/smc)
+// assumes — experiments that sweep maximum speed (Fig 10b) vary both
+// together. Trajectories produce geom.Point values clamped to the field
+// rectangle by construction, never by the consumer.
 package mobility
 
 import (

@@ -3,6 +3,15 @@
 // range R. It provides the hop-count machinery (BFS) that both the traffic
 // simulator and the flux model calibration rely on, plus the neighborhood
 // flux smoothing the paper suggests for mitigating routing-tree randomness.
+//
+// A Network is immutable once built: node positions come from
+// internal/deploy, the adjacency lists are constructed once by grid-bucketed
+// unit-disk range search, and all queries (Neighbors, HopsFrom, Nearest,
+// SmoothOverNeighborhood) read shared state without locking, which is what
+// lets the parallel layers above (candidate search, experiment trials)
+// share one Network across goroutines. Hop counts are breadth-first-search
+// distances, matching the paper's assumption that collection trees are
+// shortest-path trees in hops.
 package network
 
 import (

@@ -1,0 +1,69 @@
+package obs
+
+import "testing"
+
+// The disabled/enabled benchmark pair quantifies the per-call cost of the
+// instrument sites themselves: a nil handle must be one predictable branch,
+// an enabled counter one sharded atomic add. The end-to-end ≤2% overhead
+// claim is benchmarked where it matters, on the tracker hot path
+// (BenchmarkTrackerStepObserved in internal/smc).
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(i, 1)
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := New(8).Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(i, 1)
+	}
+}
+
+func BenchmarkCounterEnabledParallel(b *testing.B) {
+	c := New(0).Counter("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		w := 0
+		for pb.Next() {
+			c.Add(w, 1)
+			w++
+		}
+	})
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(i, 1.5)
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	h := New(8).Histogram("bench_ms", DurationBucketsMs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(i, 1.5)
+	}
+}
+
+func BenchmarkTraceDisabled(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(Span{Step: i})
+	}
+}
+
+func BenchmarkTraceEnabled(b *testing.B) {
+	tr := NewTrace(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(Span{Step: i})
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Span is one structured step-trace record: the per-round vital signs of an
+// SMC tracker Step. Counts are deterministic (pure functions of the run's
+// seeds, identical at any worker count); the *Ns timing fields are
+// wall-clock and intentionally not. A zero field simply means the phase did
+// not apply (e.g. MaskedSensors on a clean round).
+type Span struct {
+	// Seed identifies which tracker emitted the span when several trackers
+	// share one Trace (the experiment harness runs many trials at once).
+	Seed uint64 `json:"seed"`
+	// Step is the tracker's round index (0-based) and Time the observation
+	// timestamp handed to Step.
+	Step int     `json:"step"`
+	Time float64 `json:"t"`
+
+	Users      int    `json:"users"`       // tracked users (K)
+	Searched   int    `json:"searched"`    // users in this round's candidate search (active set)
+	Active     int    `json:"active"`      // users actually updated this round
+	Candidates int    `json:"candidates"`  // predicted candidate positions drawn (Searched × N)
+	NNLSSolves uint64 `json:"nnls_solves"` // compositions evaluated this Step
+	NNLSIters  uint64 `json:"nnls_iters"`  // active-set NNLS iterations burned this Step
+
+	MaskedSensors int `json:"masked_sensors"` // sensors absent from the fit (fault layer)
+	StaleSensors  int `json:"stale_sensors"`  // delivered but aged reports (delayed delivery)
+
+	Objective float64 `json:"objective"` // best composition objective this round
+
+	PredictNs int64 `json:"predict_ns"` // prediction phase wall time
+	SearchNs  int64 `json:"search_ns"`  // filtering/search phase wall time
+	UpdateNs  int64 `json:"update_ns"`  // update + estimate phase wall time
+	WallNs    int64 `json:"wall_ns"`    // whole Step wall time
+}
+
+// Trace is a bounded ring buffer of Spans. Writers append concurrently
+// under a mutex; once the capacity is exceeded the oldest spans are
+// overwritten (Dropped counts them). A nil *Trace is the disabled
+// instrument: Add on it is a single branch.
+type Trace struct {
+	mu      sync.Mutex
+	spans   []Span
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+// NewTrace returns a Trace holding at most capacity spans (<= 0 means a
+// default of 4096).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Trace{spans: make([]Span, 0, capacity)}
+}
+
+// Add appends a span, overwriting the oldest when full. A nil receiver is
+// a no-op.
+func (t *Trace) Add(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.spans) < cap(t.spans) {
+		t.spans = append(t.spans, s)
+	} else {
+		t.spans[t.next] = s
+		t.next++
+		if t.next == cap(t.spans) {
+			t.next = 0
+		}
+		t.wrapped = true
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns how many spans were ever added (including overwritten ones).
+func (t *Trace) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns the retained spans in insertion order.
+func (t *Trace) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.spans))
+	if t.wrapped {
+		out = append(out, t.spans[t.next:]...)
+		out = append(out, t.spans[:t.next]...)
+	} else {
+		out = append(out, t.spans...)
+	}
+	return out
+}
+
+// WriteJSONL writes spans as one JSON object per line — the `-trace
+// out.jsonl` sink of cmd/fluxbench, greppable and jq-able.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -2,6 +2,13 @@
 // horizontal bar charts for error tables and line charts for CDFs and
 // per-round error series. Pure text, no dependencies — meant for terminal
 // inspection of experiment output, not publication graphics.
+//
+// Charts are pure functions from data to string: Bars lays out labeled
+// horizontal bars scaled to the widest value; Line and Lines rasterize one
+// or more float series onto a character grid. Rendering is
+// deterministic (no timestamps, no locale formatting), so chart output can
+// be asserted byte-for-byte in tests the same way experiment tables are.
+// cmd/fluxbench and cmd/fluxsim are the only consumers.
 package plot
 
 import (

@@ -3,6 +3,14 @@
 // sink spans the network and every intermediate node relays the data of its
 // whole subtree. The traffic flux at a node is therefore proportional to its
 // subtree size.
+//
+// Trees are shortest-path collection trees: each node picks as parent its
+// geometrically nearest neighbor one hop closer to the sink (ties toward
+// the lower index), so construction is fully deterministic. SubtreeSize is
+// accumulated bottom-up in one pass and Tree.Flux scales it by a per-user
+// traffic stretch. The traffic layer (internal/traffic) caches one tree per
+// sink node, and the observability layer counts those builds and cache hits
+// (traffic.tree.builds / traffic.tree.hits).
 package routing
 
 import (

@@ -13,11 +13,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"fluxtrack/internal/fit"
 	"fluxtrack/internal/fluxmodel"
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/mat"
+	"fluxtrack/internal/obs"
 	"fluxtrack/internal/par"
 	"fluxtrack/internal/rng"
 )
@@ -81,6 +83,19 @@ type Config struct {
 	// worker per CPU (GOMAXPROCS); 1 forces the sequential path. When
 	// Search.Workers is unset it inherits this value.
 	Workers int
+	// Metrics, when non-nil, receives the tracker's per-round work counters
+	// (smc.step.*) and the smc.step.wall_ms latency histogram, and is
+	// inherited by Search.Metrics when that is unset (threading the
+	// fit.search.* and fit.nnls.* counters of the inner search too).
+	// Metrics are write-only: enabling them never changes tracker output,
+	// and every smc.step.* counter is worker-count-invariant. Nil disables
+	// instrumentation at the cost of one branch per Step.
+	Metrics *obs.Metrics
+	// Trace, when non-nil, receives one structured obs.Span per successful
+	// Step: phase wall times (predict/filter/update), candidate and
+	// active-set counts, masked/stale sensor counts, and the NNLS effort
+	// the round burned. Nil disables span collection.
+	Trace *obs.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +123,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Search.Workers == 0 {
 		c.Search.Workers = c.Workers
+	}
+	if c.Search.Metrics == nil {
+		c.Search.Metrics = c.Metrics
 	}
 	if c.StaleAttenuation == 0 {
 		c.StaleAttenuation = 0.5
@@ -148,6 +166,11 @@ type Tracker struct {
 	users    []userState
 	steps    int
 	searcher *fit.Searcher
+	seed     uint64
+
+	// met holds the bound observability counter handles; the zero value is
+	// the disabled instrument set (every call one nil branch).
+	met trackerMetrics
 
 	// Per-round prediction buffers, reused across Steps: candidate and
 	// origin slots for up to NumUsers×N draws.
@@ -155,6 +178,40 @@ type Tracker struct {
 	origArena []int
 	candBuf   [][]geom.Point
 	origBuf   [][]int
+}
+
+// trackerMetrics caches the tracker's counter handles (bound once in New)
+// so Step never pays a registry lookup. All counters are deterministic work
+// counts; only the wall histogram is wall-clock.
+type trackerMetrics struct {
+	m             *obs.Metrics
+	shard         int            // seed-derived counter shard, decorrelating parallel trials
+	steps         *obs.Counter   // smc.step.count
+	candidates    *obs.Counter   // smc.step.candidates: predicted positions drawn
+	searchedUsers *obs.Counter   // smc.step.searched_users: active-set sizes
+	activeUsers   *obs.Counter   // smc.step.active_users: users actually updated
+	maskedSensors *obs.Counter   // smc.step.masked_sensors
+	staleSensors  *obs.Counter   // smc.step.stale_sensors
+	skipped       *obs.Counter   // smc.step.skipped_all_masked
+	wall          *obs.Histogram // smc.step.wall_ms
+}
+
+func (tm *trackerMetrics) bind(m *obs.Metrics, seed uint64) {
+	if m == nil {
+		return
+	}
+	*tm = trackerMetrics{
+		m:             m,
+		shard:         int(seed),
+		steps:         m.Counter("smc.step.count"),
+		candidates:    m.Counter("smc.step.candidates"),
+		searchedUsers: m.Counter("smc.step.searched_users"),
+		activeUsers:   m.Counter("smc.step.active_users"),
+		maskedSensors: m.Counter("smc.step.masked_sensors"),
+		staleSensors:  m.Counter("smc.step.stale_sensors"),
+		skipped:       m.Counter("smc.step.skipped_all_masked"),
+		wall:          m.Histogram("smc.step.wall_ms", obs.DurationBucketsMs),
+	}
 }
 
 // Estimate is one user's per-round output.
@@ -214,7 +271,13 @@ func New(cfg Config, seed uint64) (*Tracker, error) {
 		cfg:      cfg,
 		users:    make([]userState, cfg.NumUsers),
 		searcher: fit.NewSearcher(),
+		seed:     seed,
 	}
+	// Bind the observability handles once; the searcher needs an explicit
+	// bind because the incumbent fits of the active-set selection go
+	// through EvaluateWorkers, which takes no Options.
+	tr.met.bind(cfg.Metrics, seed)
+	tr.searcher.SetMetrics(cfg.Search.Metrics)
 	for j := range tr.users {
 		tr.users[j].src = rng.New(userStreamSeed(seed, j))
 	}
@@ -251,6 +314,13 @@ func (tr *Tracker) Step(t float64, measured []float64) (StepResult, error) {
 // untouched; a delivered non-finite reading is rejected the same way a
 // malformed observation length is.
 func (tr *Tracker) StepMasked(t float64, measured []float64, present []bool, age []int) (StepResult, error) {
+	// Observation is write-only: the span and counters below never feed
+	// back into the round, so enabling them cannot perturb tracker output.
+	observed := tr.met.m != nil || tr.cfg.Trace != nil
+	var t0 time.Time
+	if observed {
+		t0 = time.Now()
+	}
 	n := len(tr.cfg.SamplePoints)
 	if len(measured) != n {
 		return StepResult{}, fmt.Errorf("smc: observation length %d, want %d", len(measured), n)
@@ -270,24 +340,25 @@ func (tr *Tracker) StepMasked(t float64, measured []float64, present []bool, age
 			}
 		}
 		if delivered == 0 {
+			tr.met.skipped.Inc(tr.met.shard)
 			return StepResult{}, fmt.Errorf("smc: round at t=%v: %w", t, ErrAllMasked)
 		}
 		if delivered == n {
 			present = nil // full delivery: take the exact unmasked path
 		}
 	}
-	anyStale := false
+	staleCount := 0
 	if age != nil {
 		for i, a := range age {
 			if a > 0 && (present == nil || present[i]) {
-				anyStale = true
-				break
+				staleCount++
 			}
 		}
-		if !anyStale {
+		if staleCount == 0 {
 			age = nil
 		}
 	}
+	anyStale := staleCount > 0
 	for i, v := range measured {
 		if present != nil && !present[i] {
 			continue
@@ -295,6 +366,21 @@ func (tr *Tracker) StepMasked(t float64, measured []float64, present []bool, age
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return StepResult{}, fmt.Errorf("smc: reading %d is not finite (%v)", i, v)
 		}
+	}
+	var span obs.Span
+	var spanPtr *obs.Span
+	var solves0, iters0 uint64
+	if observed {
+		span = obs.Span{
+			Seed: tr.seed, Step: tr.steps, Time: t,
+			Users:         tr.cfg.NumUsers,
+			MaskedSensors: n - delivered,
+			StaleSensors:  staleCount,
+		}
+		// NNLS work baseline before the active-set selection, so the
+		// incumbent fit's solves are attributed to this round's span.
+		solves0, iters0 = tr.searcher.WorkTotals()
+		spanPtr = &span
 	}
 
 	var weights []float64
@@ -329,7 +415,35 @@ func (tr *Tracker) StepMasked(t float64, measured []float64, present []bool, age
 			return StepResult{}, err
 		}
 	}
-	return tr.stepSubset(prob, t, subset)
+	out, err := tr.stepSubset(prob, t, subset, spanPtr)
+	if err != nil {
+		return out, err
+	}
+	if observed {
+		solves1, iters1 := tr.searcher.WorkTotals()
+		span.NNLSSolves = solves1 - solves0
+		span.NNLSIters = iters1 - iters0
+		span.WallNs = time.Since(t0).Nanoseconds()
+		tr.recordStep(&span)
+	}
+	return out, nil
+}
+
+// recordStep flushes one completed round into the bound counters, the wall
+// histogram, and the trace ring. Every counter carries a deterministic work
+// count; only the wall histogram (and the span's *Ns fields) are wall-clock.
+func (tr *Tracker) recordStep(span *obs.Span) {
+	if tm := &tr.met; tm.m != nil {
+		w := tm.shard
+		tm.steps.Inc(w)
+		tm.candidates.Add(w, uint64(span.Candidates))
+		tm.searchedUsers.Add(w, uint64(span.Searched))
+		tm.activeUsers.Add(w, uint64(span.Active))
+		tm.maskedSensors.Add(w, uint64(span.MaskedSensors))
+		tm.staleSensors.Add(w, uint64(span.StaleSensors))
+		tm.wall.Observe(w, float64(span.WallNs)/1e6)
+	}
+	tr.cfg.Trace.Add(*span)
 }
 
 // selectActive picks the users that join this round's candidate search (at
@@ -448,10 +562,16 @@ func (tr *Tracker) predictBuffers(k int) ([][]geom.Point, [][]int) {
 }
 
 // stepSubset runs one Algorithm 4.1 round with only the subset users in the
-// candidate search; the remaining users are treated as idle this round.
-func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int) (StepResult, error) {
+// candidate search; the remaining users are treated as idle this round. A
+// non-nil span receives the round's phase timings and work counts; it never
+// influences the round itself.
+func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int, span *obs.Span) (StepResult, error) {
 	if len(subset) == 0 {
 		return StepResult{}, errors.New("smc: empty user subset")
+	}
+	var mark time.Time
+	if span != nil {
+		mark = time.Now()
 	}
 	// Prediction phase (Eq 4.2): candidate sets of size N per subset user,
 	// drawn concurrently — each user's draws come from its own substream,
@@ -461,6 +581,11 @@ func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int) (StepR
 		tr.predictInto(subset[i], t, candidates[i], origins[i])
 		return nil
 	})
+	if span != nil {
+		now := time.Now()
+		span.PredictNs = now.Sub(mark).Nanoseconds()
+		mark = now
+	}
 
 	// Filtering phase: rank compositions by NLS objective.
 	searchOpts := tr.cfg.Search
@@ -473,6 +598,14 @@ func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int) (StepR
 		return StepResult{}, errors.New("smc: search returned no compositions")
 	}
 	best := res.Best[0]
+	if span != nil {
+		now := time.Now()
+		span.SearchNs = now.Sub(mark).Nanoseconds()
+		mark = now
+		span.Searched = len(subset)
+		span.Candidates = len(subset) * tr.cfg.N
+		span.Objective = best.Objective
+	}
 
 	// Asynchronous updating (§4.E): the largest fitted stretch this round
 	// sets the activity scale.
@@ -504,6 +637,14 @@ func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int) (StepR
 		return nil
 	})
 	tr.steps++
+	if span != nil {
+		span.UpdateNs = time.Since(mark).Nanoseconds()
+		for j := range out.Estimates {
+			if out.Estimates[j].Active {
+				span.Active++
+			}
+		}
+	}
 	return out, nil
 }
 

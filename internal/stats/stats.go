@@ -2,6 +2,14 @@
 // harness: means, standard deviations, percentiles, empirical CDFs and
 // fixed-width histograms. Every figure in the paper's evaluation section is
 // ultimately a table of these quantities.
+//
+// Functions take plain []float64 and do not mutate their inputs (sorting
+// copies first), so experiment code can summarize the same error series
+// several ways. Percentile uses linear interpolation between order
+// statistics; CDF returns the full empirical step function that Fig 3a's
+// approximation-error curves are drawn from. Aggregation across parallel
+// trials happens in index order upstream (internal/exp), so identical
+// inputs reach this package regardless of worker count.
 package stats
 
 import (

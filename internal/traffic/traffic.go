@@ -13,6 +13,7 @@ import (
 
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/network"
+	"fluxtrack/internal/obs"
 	"fluxtrack/internal/rng"
 	"fluxtrack/internal/routing"
 )
@@ -39,6 +40,21 @@ type Simulator struct {
 
 	mu        sync.Mutex
 	treeCache map[int]*routing.Tree
+	met       simMetrics
+}
+
+// simMetrics holds the simulator's bound counter handles; the zero value is
+// the disabled instrument set. All four counters are deterministic work
+// counts: how many flux rounds were computed, how many user contributions
+// they summed, and how the tree cache split between builds and hits (builds
+// equal the number of distinct sinks ever requested, regardless of which
+// goroutine gets there first).
+type simMetrics struct {
+	m          *obs.Metrics
+	fluxRounds *obs.Counter // traffic.flux.rounds
+	fluxUsers  *obs.Counter // traffic.flux.users (active contributions summed)
+	treeBuilds *obs.Counter // traffic.tree.builds
+	treeHits   *obs.Counter // traffic.tree.hits
 }
 
 // NewSimulator returns a Simulator over the given network.
@@ -49,6 +65,26 @@ func NewSimulator(net *network.Network) *Simulator {
 // Network returns the underlying network.
 func (s *Simulator) Network() *network.Network { return s.net }
 
+// SetMetrics binds (or, with nil, unbinds) the observability registry the
+// simulator reports its traffic.* work counters to. Metrics are write-only
+// and never change the simulated flux. Not safe to call concurrently with
+// Flux; bind once right after construction.
+func (s *Simulator) SetMetrics(m *obs.Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m == nil {
+		s.met = simMetrics{}
+		return
+	}
+	s.met = simMetrics{
+		m:          m,
+		fluxRounds: m.Counter("traffic.flux.rounds"),
+		fluxUsers:  m.Counter("traffic.flux.users"),
+		treeBuilds: m.Counter("traffic.tree.builds"),
+		treeHits:   m.Counter("traffic.tree.hits"),
+	}
+}
+
 // tree returns the (cached) collection tree rooted at the given sink node.
 // The lock is held across the build so concurrent callers asking for the
 // same sink share one construction instead of racing on the map.
@@ -56,6 +92,7 @@ func (s *Simulator) tree(sink int) (*routing.Tree, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t, ok := s.treeCache[sink]; ok {
+		s.met.treeHits.Inc(sink)
 		return t, nil
 	}
 	t, err := routing.Build(s.net, sink)
@@ -63,6 +100,7 @@ func (s *Simulator) tree(sink int) (*routing.Tree, error) {
 		return nil, err
 	}
 	s.treeCache[sink] = t
+	s.met.treeBuilds.Inc(sink)
 	return t, nil
 }
 
@@ -70,11 +108,14 @@ func (s *Simulator) tree(sink int) (*routing.Tree, error) {
 // users and users with non-positive stretch contribute nothing, mirroring a
 // collection window in which they issue no request.
 func (s *Simulator) Flux(users []User) ([]float64, error) {
+	s.met.fluxRounds.Inc(0)
+	active := 0
 	total := make([]float64, s.net.Len())
 	for i, u := range users {
 		if !u.Active || u.Stretch <= 0 {
 			continue
 		}
+		active++
 		if !s.net.Field().Contains(u.Pos) {
 			return nil, fmt.Errorf("traffic: user %d at %v is outside the field", i, u.Pos)
 		}
@@ -86,6 +127,7 @@ func (s *Simulator) Flux(users []User) ([]float64, error) {
 			total[j] += u.Stretch * float64(size)
 		}
 	}
+	s.met.fluxUsers.Add(0, uint64(active))
 	return total, nil
 }
 
