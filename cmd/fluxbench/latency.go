@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"fluxtrack/internal/core"
+	"fluxtrack/internal/fingerprint"
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/mobility"
 	"fluxtrack/internal/rng"
@@ -30,6 +31,8 @@ type latencyReport struct {
 	Rounds     int            `json:"rounds"`
 	Repeats    int            `json:"repeats"`
 	Seed       uint64         `json:"seed"`
+	CoarseTopK int            `json:"coarse_topk,omitempty"`
+	CoarseGrid int            `json:"coarse_grid,omitempty"`
 	GOMAXPROCS int            `json:"gomaxprocs"`
 	GoVersion  string         `json:"go_version"`
 	Entries    []latencyEntry `json:"entries"`
@@ -61,6 +64,9 @@ func runLatency(args []string) error {
 		seed    = fs.Uint64("seed", 1, "base seed for scenario, walks, and tracker")
 		list    = fs.String("workers", "1,2,4,8", "comma-separated worker counts (0 = GOMAXPROCS)")
 		jsonOut = fs.String("json", "", "write a JSON latency report to this file")
+		coarse  = fs.Bool("coarse", false, "shortlist candidates through the coarse-to-fine fingerprint search")
+		coarseK = fs.Int("coarsek", 0, "coarse shortlist size per user (0 = default 64; implies -coarse)")
+		coarseG = fs.Int("coarsegrid", 0, "fingerprint grid resolution per axis (0 = default 24; implies -coarse)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,10 +118,16 @@ func runLatency(args []string) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
 	}
+	var ccfg fingerprint.CoarseConfig
+	if *coarse || *coarseK > 0 || *coarseG > 0 {
+		ccfg = fingerprint.CoarseConfig{Enabled: true, TopK: *coarseK, GridRes: *coarseG}.WithDefaults()
+		report.CoarseTopK = ccfg.TopK
+		report.CoarseGrid = ccfg.GridRes
+	}
 
 	newTracker := func(workers int) (*smc.Tracker, error) {
 		return sniffer.NewTracker(*users, core.TrackerConfig{
-			N: *trackN, M: 10, VMax: 5, Workers: workers,
+			N: *trackN, M: 10, VMax: 5, Workers: workers, Coarse: ccfg,
 		}, *seed+101)
 	}
 

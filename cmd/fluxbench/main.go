@@ -24,11 +24,20 @@
 //	fluxbench -quick -exp fig7 -trace out.jsonl  # one JSON span per tracker round
 //	fluxbench report metrics.json                # render a saved snapshot (or a -json report)
 //
+// Coarse-to-fine search (see internal/fingerprint; shortlists candidates
+// before the exact NLS ranking — faster, slightly approximate unless
+// -coarsek covers every candidate):
+//
+//	fluxbench -quick -coarse                     # default shortlist (TopK 64, grid 24)
+//	fluxbench -quick -coarse -coarsek 32         # tighter shortlist
+//	fluxbench -quick -coarse -coarsegrid 48      # finer fingerprint grid
+//
 // Profiling and report comparison:
 //
 //	fluxbench -quick -cpuprofile cpu.out    # pprof CPU profile of the run
 //	fluxbench -quick -memprofile mem.out    # heap profile at exit
 //	fluxbench compare old.json new.json     # speedup table between two -json reports
+//	fluxbench compare -maxregress 2.0 old.json new.json  # exit 1 if new total > 2x old
 //
 // Tracker latency:
 //
@@ -55,6 +64,7 @@ import (
 
 	"fluxtrack/internal/exp"
 	"fluxtrack/internal/fault"
+	"fluxtrack/internal/fingerprint"
 	"fluxtrack/internal/obs"
 	"fluxtrack/internal/plot"
 )
@@ -68,7 +78,9 @@ type benchReport struct {
 	Samples      int               `json:"samples"`
 	TrackN       int               `json:"track_n"`
 	Rounds       int               `json:"rounds"`
-	Workers      int               `json:"workers"` // 0 = GOMAXPROCS
+	Workers      int               `json:"workers"`               // 0 = GOMAXPROCS
+	CoarseTopK   int               `json:"coarse_topk,omitempty"` // 0 = exact search
+	CoarseGrid   int               `json:"coarse_grid,omitempty"`
 	GOMAXPROCS   int               `json:"gomaxprocs"`
 	GoVersion    string            `json:"go_version"`
 	Experiments  []benchExperiment `json:"experiments"`
@@ -113,6 +125,9 @@ func run(args []string) error {
 		trackN  = fs.Int("trackn", 0, "override the SMC prediction sample count")
 		rounds  = fs.Int("rounds", 0, "override the tracking round count")
 		workers = fs.Int("workers", 0, "worker count for trials, NLS search, and tracker steps (0 = one per CPU, 1 = sequential)")
+		coarse  = fs.Bool("coarse", false, "shortlist tracking candidates through the coarse-to-fine fingerprint search")
+		coarseK = fs.Int("coarsek", 0, "coarse shortlist size per user (0 = default 64; implies -coarse)")
+		coarseG = fs.Int("coarsegrid", 0, "fingerprint grid resolution per axis (0 = default 24; implies -coarse)")
 		jsonOut = fs.String("json", "", "write a JSON benchmark report to this file")
 		dropout = fs.Float64("dropout", 0, "fraction of sensors that fail permanently (tracking experiments)")
 		loss    = fs.Float64("loss", 0, "per-round probability a report is lost")
@@ -193,6 +208,9 @@ func run(args []string) error {
 	if err := cfg.Fault.Validate(); err != nil {
 		return err
 	}
+	if *coarse || *coarseK > 0 || *coarseG > 0 {
+		cfg.Coarse = fingerprint.CoarseConfig{Enabled: true, TopK: *coarseK, GridRes: *coarseG}.WithDefaults()
+	}
 	var met *obs.Metrics
 	if *metrics || *metOut != "" {
 		met = obs.New(0)
@@ -221,6 +239,8 @@ func run(args []string) error {
 		TrackN:     cfg.TrackN,
 		Rounds:     cfg.Rounds,
 		Workers:    cfg.Workers,
+		CoarseTopK: cfg.Coarse.TopK,
+		CoarseGrid: cfg.Coarse.GridRes,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
 	}
@@ -335,14 +355,17 @@ func runReport(args []string) error {
 
 // runCompare diffs two -json benchmark reports: per-experiment wall time in
 // the old and new run plus the speedup ratio, then the totals. Experiments
-// present in only one report are listed but not ratioed.
+// present in only one report are listed but not ratioed. With -maxregress R
+// the command exits nonzero when the new matched total exceeds R times the
+// old one — the CI performance gate.
 func runCompare(args []string) error {
 	fs := flag.NewFlagSet("fluxbench compare", flag.ContinueOnError)
+	maxRegress := fs.Float64("maxregress", 0, "fail when new total wall time exceeds this multiple of the old total (0 = report only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: fluxbench compare old.json new.json (got %d args)", fs.NArg())
+		return fmt.Errorf("usage: fluxbench compare [-maxregress R] old.json new.json (got %d args)", fs.NArg())
 	}
 	oldRep, err := loadReport(fs.Arg(0))
 	if err != nil {
@@ -352,7 +375,12 @@ func runCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(compareReports(oldRep, newRep, fs.Arg(0), fs.Arg(1)))
+	text, oldTotal, newTotal := compareReports(oldRep, newRep, fs.Arg(0), fs.Arg(1))
+	fmt.Print(text)
+	if *maxRegress > 0 && oldTotal > 0 && newTotal > *maxRegress*oldTotal {
+		return fmt.Errorf("regression: new matched total %.2fs exceeds %.2fx old total %.2fs (limit %.2fx)",
+			newTotal, newTotal/oldTotal, oldTotal, *maxRegress)
+	}
 	return nil
 }
 
@@ -368,7 +396,7 @@ func loadReport(path string) (benchReport, error) {
 	return r, nil
 }
 
-func compareReports(oldRep, newRep benchReport, oldPath, newPath string) string {
+func compareReports(oldRep, newRep benchReport, oldPath, newPath string) (text string, oldTotal, newTotal float64) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "old: %s (config=%s trials=%d workers=%d %s)\n",
 		oldPath, oldRep.Config, oldRep.Trials, oldRep.Workers, oldRep.GoVersion)
@@ -385,7 +413,6 @@ func compareReports(oldRep, newRep benchReport, oldPath, newPath string) string 
 		oldSecs[e.ID] = e.Seconds
 	}
 	fmt.Fprintf(&b, "%-20s %10s %10s %9s\n", "experiment", "old s", "new s", "speedup")
-	var oldTotal, newTotal float64
 	matched := make(map[string]bool, len(newRep.Experiments))
 	for _, e := range newRep.Experiments {
 		prev, ok := oldSecs[e.ID]
@@ -412,7 +439,7 @@ func compareReports(oldRep, newRep benchReport, oldPath, newPath string) string 
 		ratio = fmt.Sprintf("%.2fx", oldTotal/newTotal)
 	}
 	fmt.Fprintf(&b, "%-20s %10.2f %10.2f %9s\n", "total (matched)", oldTotal, newTotal, ratio)
-	return b.String()
+	return b.String(), oldTotal, newTotal
 }
 
 // renderCharts draws one bar chart per fully numeric table column, keyed by

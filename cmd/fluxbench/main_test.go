@@ -132,7 +132,7 @@ func TestCompareReports(t *testing.T) {
 			{ID: "fresh", Seconds: 1},
 		},
 	}
-	out := compareReports(oldRep, newRep, "a.json", "b.json")
+	out, oldTotal, newTotal := compareReports(oldRep, newRep, "a.json", "b.json")
 	for _, want := range []string{
 		"fig5", "5.00x", "fig7", "total (matched)",
 		"gone", "(old only)", "fresh", "(new only)",
@@ -144,9 +144,13 @@ func TestCompareReports(t *testing.T) {
 	if strings.Contains(out, "warning") {
 		t.Errorf("matching configs must not warn:\n%s", out)
 	}
+	// Matched totals exclude the one-sided experiments.
+	if oldTotal != 30 || newTotal != 6 {
+		t.Errorf("matched totals = %v, %v, want 30, 6", oldTotal, newTotal)
+	}
 	// Mismatched configurations must warn.
 	newRep.Trials = 9
-	if out := compareReports(oldRep, newRep, "a", "b"); !strings.Contains(out, "warning") {
+	if out, _, _ := compareReports(oldRep, newRep, "a", "b"); !strings.Contains(out, "warning") {
 		t.Errorf("mismatched configs must warn:\n%s", out)
 	}
 }
@@ -174,6 +178,49 @@ func TestRunCompareSubcommand(t *testing.T) {
 	}
 	if err := run([]string{"compare", oldPath, bad}); err == nil {
 		t.Error("compare with malformed JSON must error")
+	}
+	// -maxregress: the new run (1s vs 3s old) is a speedup, so generous and
+	// tight limits both pass; swapping the operands makes a 3x slowdown that
+	// must fail a 2x limit but pass a 4x one.
+	if err := run([]string{"compare", "-maxregress", "1.5", oldPath, newPath}); err != nil {
+		t.Errorf("faster run must pass -maxregress: %v", err)
+	}
+	if err := run([]string{"compare", "-maxregress", "2", newPath, oldPath}); err == nil {
+		t.Error("3x slowdown must fail -maxregress 2")
+	}
+	if err := run([]string{"compare", "-maxregress", "4", newPath, oldPath}); err != nil {
+		t.Errorf("3x slowdown must pass -maxregress 4: %v", err)
+	}
+}
+
+func TestRunLatencySubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end latency run skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "latency.json")
+	if err := run([]string{
+		"latency", "-users", "2", "-trackn", "60", "-samples", "40",
+		"-rounds", "2", "-repeats", "1", "-workers", "1,2",
+		"-coarse", "-coarsek", "16", "-coarsegrid", "8", "-json", out,
+	}); err != nil {
+		t.Fatalf("latency subcommand failed: %v", err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report latencyReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("latency report is not valid JSON: %v", err)
+	}
+	if report.CoarseTopK != 16 || report.CoarseGrid != 8 {
+		t.Errorf("coarse fields not recorded: %+v", report)
+	}
+	if len(report.Entries) != 2 || report.Entries[0].Steps != 2 {
+		t.Errorf("latency entries wrong: %+v", report.Entries)
+	}
+	if err := run([]string{"latency", "-workers", "1,x"}); err == nil {
+		t.Error("bad -workers list must error")
 	}
 }
 

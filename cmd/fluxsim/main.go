@@ -9,6 +9,7 @@
 //	fluxsim -users 3 -workers 4   # parallel candidate scoring, same output
 //	fluxsim -users 2 -dropout 0.2 -loss 0.1   # localize from a degraded sniff
 //	fluxsim -users 3 -metrics     # print the run's work counters at exit
+//	fluxsim -users 3 -coarse -coarsek 64      # coarse-to-fine candidate shortlist
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fluxtrack/internal/core"
 	"fluxtrack/internal/deploy"
 	"fluxtrack/internal/fault"
+	"fluxtrack/internal/fingerprint"
 	"fluxtrack/internal/fit"
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/obs"
@@ -49,6 +51,9 @@ func run(args []string) error {
 		loss    = fs.Float64("loss", 0, "probability each report is lost this round")
 		stuck   = fs.Float64("stuck", 0, "fraction of sniffed sensors with frozen readings")
 		metrics = fs.Bool("metrics", false, "collect work counters (traffic, fault, NLS search) and print the snapshot at exit")
+		coarse  = fs.Bool("coarse", false, "shortlist candidates through the coarse-to-fine fingerprint search")
+		coarseK = fs.Int("coarsek", 0, "coarse shortlist size per user (0 = default 64; implies -coarse)")
+		coarseG = fs.Int("coarsegrid", 0, "fingerprint grid resolution per axis (0 = default 24; implies -coarse)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +101,16 @@ func run(args []string) error {
 		return err
 	}
 	opts := fit.Options{Samples: *samples, TopM: 10, Workers: *workers, Metrics: met}
+	if *coarse || *coarseK > 0 || *coarseG > 0 {
+		ccfg := fingerprint.CoarseConfig{Enabled: true, TopK: *coarseK, GridRes: *coarseG}.WithDefaults()
+		db, err := sniffer.NewFingerprintDB(ccfg, *workers, met)
+		if err != nil {
+			return err
+		}
+		opts.Coarse = &fit.Coarse{DB: db, TopK: ccfg.TopK}
+		fmt.Printf("\ncoarse search: %d fingerprint cells (grid %d), shortlist %d of %d candidates per user\n",
+			db.Cells(), db.Res(), ccfg.TopK, *samples)
+	}
 	var res fit.Result
 	if faultCfg.Enabled() {
 		inj, err := sniffer.NewFaultInjector(faultCfg, src.Uint64())

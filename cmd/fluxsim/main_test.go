@@ -29,6 +29,12 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := run([]string{"-users", "1", "-samples", "500", "-nodes", "400"}); err != nil {
 		t.Fatalf("fluxsim run failed: %v", err)
 	}
+	if err := run([]string{
+		"-users", "1", "-samples", "500", "-nodes", "400",
+		"-coarse", "-coarsek", "64", "-coarsegrid", "16",
+	}); err != nil {
+		t.Fatalf("fluxsim coarse run failed: %v", err)
+	}
 }
 
 func TestMatchErrorsHelper(t *testing.T) {

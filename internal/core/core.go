@@ -26,6 +26,7 @@ import (
 
 	"fluxtrack/internal/deploy"
 	"fluxtrack/internal/fault"
+	"fluxtrack/internal/fingerprint"
 	"fluxtrack/internal/fit"
 	"fluxtrack/internal/fluxmodel"
 	"fluxtrack/internal/geom"
@@ -263,6 +264,15 @@ func (sn *Sniffer) LocalizeMasked(obs fault.Observation, numUsers int, opts fit.
 	return fit.Localize(prob, numUsers, opts, src)
 }
 
+// NewFingerprintDB precomputes the coarse-search fingerprint database for
+// this sniffer's vantage: one model flux signature per grid cell, sampled at
+// the monitored nodes. Pass the result to instant localization through
+// fit.Options.Coarse to shortlist candidates before the exact search; the
+// tracker builds its own database when TrackerConfig.Coarse is enabled.
+func (sn *Sniffer) NewFingerprintDB(cfg fingerprint.CoarseConfig, workers int, m *obs.Metrics) (*fingerprint.DB, error) {
+	return fingerprint.NewDB(sn.scenario.model, sn.points, cfg, workers, m)
+}
+
 // Localize runs the instant-localization attack (§5.A) on the most recent
 // observation.
 func (sn *Sniffer) Localize(numUsers int, opts fit.Options, src *rng.Source) (fit.Result, error) {
@@ -290,6 +300,12 @@ type TrackerConfig struct {
 	// in masked tracking rounds (see smc.Config.StaleAttenuation; zero
 	// takes the default of 0.5, negative disables the discount).
 	StaleAttenuation float64
+	// Coarse, when Enabled, precomputes a fingerprint database over the
+	// sniffer's monitored nodes and shortlists each user's candidates by
+	// coarse cell score before the exact Gram/NNLS ranking runs each round
+	// (see internal/fingerprint and fit.Coarse). TopK at or above N keeps
+	// every candidate and degrades to the exact search byte for byte.
+	Coarse fingerprint.CoarseConfig
 	// Workers bounds the goroutines inside one tracker round (prediction,
 	// candidate scoring, update); 0 means GOMAXPROCS, 1 forces serial.
 	// Output is identical at any value (see smc.Config.Workers).
@@ -319,6 +335,7 @@ func (sn *Sniffer) NewTracker(numUsers int, cfg TrackerConfig, seed uint64) (*sm
 		ActiveSetLimit:    cfg.ActiveSetLimit,
 		HeadingPrediction: cfg.HeadingPrediction,
 		StaleAttenuation:  cfg.StaleAttenuation,
+		Coarse:            cfg.Coarse,
 		Workers:           cfg.Workers,
 		Metrics:           cfg.Metrics,
 		Trace:             cfg.Trace,

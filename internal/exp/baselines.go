@@ -54,7 +54,8 @@ func BaselineEKF(cfg Config) (Table, error) {
 		// SMC tracker (blind initialization, as always).
 		tracker, err := sniffer.NewTracker(1, core.TrackerConfig{
 			N: cfg.TrackN, M: cfg.TrackM, VMax: 5, Search: cfg.trackerSearch(),
-			Workers: cfg.Workers, Metrics: cfg.Metrics, Trace: cfg.Trace,
+			Coarse: cfg.Coarse, Workers: cfg.Workers,
+			Metrics: cfg.Metrics, Trace: cfg.Trace,
 		}, seed+1)
 		if err != nil {
 			return trialErrs{}, err
@@ -184,7 +185,7 @@ func AblationHeading(cfg Config) (Table, error) {
 		}
 		tracker, err := sniffer.NewTracker(1, core.TrackerConfig{
 			N: cfg.TrackN, M: cfg.TrackM, VMax: 5, HeadingPrediction: heading,
-			Search: cfg.trackerSearch(), Workers: cfg.Workers,
+			Search: cfg.trackerSearch(), Coarse: cfg.Coarse, Workers: cfg.Workers,
 			Metrics: cfg.Metrics, Trace: cfg.Trace,
 		}, seed+1)
 		if err != nil {

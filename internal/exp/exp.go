@@ -21,6 +21,7 @@ import (
 
 	"fluxtrack/internal/core"
 	"fluxtrack/internal/fault"
+	"fluxtrack/internal/fingerprint"
 	"fluxtrack/internal/fit"
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/obs"
@@ -95,6 +96,16 @@ type Config struct {
 	// injector seeded from the trial seed, so fault patterns are byte-stable
 	// at any worker count like everything else in this package.
 	Fault fault.Config
+	// Coarse, when Enabled, switches every tracking trial to the
+	// coarse-to-fine candidate search: each trial's tracker precomputes a
+	// fingerprint database over its sniffer's nodes and shortlists TopK
+	// candidates per user per round before the exact evaluator runs (see
+	// core.TrackerConfig.Coarse). The zero value keeps the exact search of
+	// the paper's evaluation. Shortlisting changes which candidates are
+	// ranked, so tables rendered with Coarse enabled are not byte-comparable
+	// to exact tables unless TopK >= TrackN; the figCoarse experiment
+	// quantifies the accuracy cost across shortlist sizes.
+	Coarse fingerprint.CoarseConfig
 	// Metrics, when non-nil, receives work counters and latency histograms
 	// from every layer the experiments touch: the harness pool (exp.pool.*,
 	// exp.trial.wall_ms), the SMC tracker (smc.step.*), the inner NLS search

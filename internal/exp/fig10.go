@@ -107,7 +107,7 @@ func traceTrial(cfg Config, kind deploy.Kind, sampleFrac float64, vmax float64, 
 	}
 	tracker, err := sniffer.NewTracker(len(run.paths), core.TrackerConfig{
 		N: cfg.TrackN, M: cfg.TrackM, VMax: vmax, ActiveSetLimit: 4,
-		Search: cfg.trackerSearch(), Workers: cfg.Workers,
+		Search: cfg.trackerSearch(), Coarse: cfg.Coarse, Workers: cfg.Workers,
 		Metrics: cfg.Metrics, Trace: cfg.Trace,
 	}, seed+3)
 	if err != nil {

@@ -37,7 +37,7 @@ func trackTrial(cfg Config, sc *core.Scenario, trajectories []mobility.Trajector
 	}
 	tracker, err := sniffer.NewTracker(k, core.TrackerConfig{
 		N: cfg.TrackN, M: cfg.TrackM, VMax: vmax, UniformWeights: uniformWeights,
-		Search: cfg.trackerSearch(), Workers: cfg.Workers,
+		Search: cfg.trackerSearch(), Coarse: cfg.Coarse, Workers: cfg.Workers,
 		Metrics: cfg.Metrics, Trace: cfg.Trace,
 	}, src.Uint64())
 	if err != nil {

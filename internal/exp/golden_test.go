@@ -120,6 +120,31 @@ func TestGoldenRerunIdentity(t *testing.T) {
 	}
 }
 
+// TestGoldenCoarseFullAgreement pins the registry-level differential
+// contract of the coarse-to-fine prestage: figCoarse's full-K row must
+// report exactly 100.0% top-1 agreement with the exact search. At TopK =
+// candidate count the shortlist is the identity and the coarse pipeline is
+// byte-identical to the exact one, so any disagreement on that row is a
+// determinism bug — never statistical noise.
+func TestGoldenCoarseFullAgreement(t *testing.T) {
+	cfg := goldenConfig()
+	for _, seed := range []uint64{1, 2} {
+		cfg.Seed = seed
+		tbl, err := FigCoarse(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		last := tbl.Rows[len(tbl.Rows)-1]
+		if last[0] != "full" {
+			t.Fatalf("seed %d: final row is %q, want the full-K row", seed, last[0])
+		}
+		if last[2] != "100.0%" {
+			t.Errorf("seed %d: full-K top-1 agreement = %s, want exactly 100.0%%\n%s",
+				seed, last[2], tbl.Render())
+		}
+	}
+}
+
 // TestGoldenSeedSensitivity checks the other half of reproducibility: a
 // different base seed must actually change the tables (all four pipelines
 // here have continuous outputs, so collisions at 2-decimal rounding across

@@ -34,6 +34,7 @@ func All() []Experiment {
 		{ID: "ablation-packet", Run: AblationPacketLevel, Note: "fluid vs packet-level sniffing"},
 		{ID: "aggregation", Run: AggregationDefense, Note: "TAG aggregation defense"},
 		{ID: "figRobust", Run: FigRobust, Note: "tracking under degraded sensing"},
+		{ID: "figCoarse", Run: FigCoarse, Note: "coarse shortlist size vs accuracy"},
 	}
 }
 

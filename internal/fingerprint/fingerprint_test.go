@@ -1,0 +1,141 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"fluxtrack/internal/fluxmodel"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/obs"
+	"fluxtrack/internal/rng"
+)
+
+func testModel(t *testing.T) *fluxmodel.Model {
+	t.Helper()
+	m, err := fluxmodel.New(geom.Square(30), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testPoints(n int, seed uint64, field geom.Rect) []geom.Point {
+	src := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = src.InRect(field)
+	}
+	return pts
+}
+
+// TestDBColumnsMatchKernelVector pins each database column bit-for-bit to
+// the per-sink kernel path the exact evaluator uses: the coarse stage
+// scores the very signatures the fine stage would compute.
+func TestDBColumnsMatchKernelVector(t *testing.T) {
+	model := testModel(t)
+	pts := testPoints(37, 5, model.Field())
+	db, err := NewDB(model, pts, CoarseConfig{GridRes: 9}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Cells() != 81 || db.Res() != 9 || db.NumSamples() != len(pts) {
+		t.Fatalf("db shape: cells=%d res=%d n=%d", db.Cells(), db.Res(), db.NumSamples())
+	}
+	col := make([]float64, len(pts))
+	for c := 0; c < db.Cells(); c++ {
+		model.KernelVectorInto(db.Center(c), pts, col)
+		got := db.Column(c)
+		for i, want := range col {
+			if got[i] != want {
+				t.Fatalf("cell %d sample %d: db %v != kernel %v", c, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestDBWorkerInvariance: the database is byte-identical at any build
+// worker count.
+func TestDBWorkerInvariance(t *testing.T) {
+	model := testModel(t)
+	pts := testPoints(20, 9, model.Field())
+	base, err := NewDB(model, pts, CoarseConfig{GridRes: 16}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8, 0} {
+		db, err := NewDB(model, pts, CoarseConfig{GridRes: 16}, w, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range db.cols {
+			if v != base.cols[i] {
+				t.Fatalf("workers=%d: column arena differs at %d", w, i)
+			}
+		}
+	}
+}
+
+// TestCellOf checks interior points map to their geometric cell and that
+// points on exact cell boundaries (equidistant centers) resolve to the
+// lowest cell index, the quadtree tie-break the shortlist determinism
+// rests on.
+func TestCellOf(t *testing.T) {
+	model := testModel(t)
+	pts := testPoints(10, 3, model.Field())
+	db, err := NewDB(model, pts, CoarseConfig{GridRes: 3}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3x3 grid over [0,30]²: cells are 10 units, centers at 5, 15, 25.
+	if got := db.CellOf(geom.Pt(1, 1)); got != 0 {
+		t.Fatalf("corner cell: got %d, want 0", got)
+	}
+	if got := db.CellOf(geom.Pt(16, 22)); got != 7 {
+		t.Fatalf("cell (1,2): got %d, want 7", got)
+	}
+	// (10, 5) is equidistant from centers 0 and 1 → lowest index wins.
+	if got := db.CellOf(geom.Pt(10, 5)); got != 0 {
+		t.Fatalf("edge tie: got %d, want 0", got)
+	}
+	// (15, 15) is equidistant from centers 4 and its three neighbors
+	// 5, 7, 8 → lowest index wins.
+	if got := db.CellOf(geom.Pt(20, 20)); got != 4 {
+		t.Fatalf("center tie: got %d, want 4", got)
+	}
+	// Outside the field clamps to the nearest boundary cell.
+	if got := db.CellOf(geom.Pt(-5, 40)); got != 6 {
+		t.Fatalf("outside: got %d, want 6", got)
+	}
+}
+
+// TestNewDBErrorsAndDefaults covers the constructor contract.
+func TestNewDBErrorsAndDefaults(t *testing.T) {
+	model := testModel(t)
+	pts := testPoints(4, 1, model.Field())
+	if _, err := NewDB(nil, pts, CoarseConfig{}, 1, nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := NewDB(model, nil, CoarseConfig{}, 1, nil); err == nil {
+		t.Fatal("empty points accepted")
+	}
+	if _, err := NewDB(model, pts, CoarseConfig{GridRes: MaxGridRes + 1}, 1, nil); err == nil {
+		t.Fatal("oversized grid accepted")
+	}
+	m := obs.New(1)
+	db, err := NewDB(model, pts, CoarseConfig{}, 1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Res() != DefaultGridRes || db.Cells() != DefaultGridRes*DefaultGridRes {
+		t.Fatalf("defaults not applied: res=%d", db.Res())
+	}
+	if got := m.Counter("fingerprint.db.builds").Value(); got != 1 {
+		t.Fatalf("builds counter = %d, want 1", got)
+	}
+	if got := m.Counter("fingerprint.db.cells").Value(); got != uint64(db.Cells()) {
+		t.Fatalf("cells counter = %d, want %d", got, db.Cells())
+	}
+	cfg := CoarseConfig{}.WithDefaults()
+	if cfg.GridRes != DefaultGridRes || cfg.TopK != DefaultTopK {
+		t.Fatalf("WithDefaults = %+v", cfg)
+	}
+}

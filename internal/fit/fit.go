@@ -33,6 +33,16 @@ type Problem struct {
 	measured []float64    // flux readings F′ at those nodes
 	weights  []float64    // per-sample weights applied inside the objective
 	wb       []float64    // weighted measurement W·F′ (aliases measured when unweighted)
+
+	// origIdx maps each (possibly compacted) sample back to its index in
+	// the full sensor layout; nil means the identity. NewProblemMasked sets
+	// it so the coarse prestage can align a masked problem with a
+	// fingerprint database built over all sample points.
+	origIdx []int
+	// fullSamples is the sample count of the unmasked layout (len(points)
+	// for unmasked problems, len(present) for masked ones); the coarse
+	// prestage requires its fingerprint database to match it.
+	fullSamples int
 }
 
 // NewProblem builds a Problem with unit weights (the plain ‖F − F′‖₂
@@ -71,10 +81,11 @@ func NewProblemWeighted(model *fluxmodel.Model, points []geom.Point, measured, w
 		weights = append([]float64(nil), weights...)
 	}
 	p := &Problem{
-		model:    model,
-		points:   append([]geom.Point(nil), points...),
-		measured: append([]float64(nil), measured...),
-		weights:  weights,
+		model:       model,
+		points:      append([]geom.Point(nil), points...),
+		measured:    append([]float64(nil), measured...),
+		weights:     weights,
+		fullSamples: len(points),
 	}
 	// Cache the weighted measurement once: every composition evaluation
 	// needs it for projections and residuals.
@@ -171,11 +182,17 @@ type Options struct {
 	Workers int
 	// Metrics, when non-nil, receives the search's work counters
 	// (fit.search.calls, fit.search.columns, fit.nnls.solves,
-	// fit.nnls.iters). Metrics are write-only: enabling them never changes
-	// search results, and the counter totals are themselves
-	// worker-count-invariant because every counted unit of work is. Nil
-	// disables instrumentation at the cost of one branch per search.
+	// fit.nnls.iters, and — with the coarse prestage on — fit.coarse.*).
+	// Metrics are write-only: enabling them never changes search results,
+	// and the counter totals are themselves worker-count-invariant because
+	// every counted unit of work is. Nil disables instrumentation at the
+	// cost of one branch per search.
 	Metrics *obs.Metrics
+	// Coarse, when non-nil, enables the coarse-to-fine prestage: candidates
+	// are shortlisted to Coarse.TopK per user by fingerprint-cell score
+	// before the exact Gram/NNLS ranking runs (see coarse.go and
+	// internal/fingerprint). Nil runs the exact search over all candidates.
+	Coarse *Coarse
 }
 
 func (o Options) withDefaults() Options {

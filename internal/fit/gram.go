@@ -43,7 +43,16 @@ type candCol struct {
 // whose wcol must already be sized to the sample count. It performs no
 // allocations.
 func (p *Problem) fillCandCol(sink geom.Point, c *candCol) {
-	wcol := p.model.KernelVectorInto(sink, p.points, c.wcol)
+	p.model.KernelVectorInto(sink, p.points, c.wcol)
+	p.finishCandCol(c)
+}
+
+// finishCandCol weights a raw kernel column in place and computes its Gram
+// diagonal and measurement projection. The column must already hold
+// g(sink, p_i) over the sample points — either from fillCandCol's
+// single-column path or from a batched KernelMatrixInto fill in prepare.
+func (p *Problem) finishCandCol(c *candCol) {
+	wcol := c.wcol
 	if p.weights != nil {
 		for i, w := range p.weights {
 			wcol[i] *= w

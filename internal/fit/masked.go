@@ -46,6 +46,7 @@ func NewProblemMasked(model *fluxmodel.Model, points []geom.Point, measured, wei
 	}
 	cp := make([]geom.Point, 0, kept)
 	cm := make([]float64, 0, kept)
+	orig := make([]int, 0, kept)
 	var cw []float64
 	if weights != nil {
 		cw = make([]float64, 0, kept)
@@ -56,11 +57,20 @@ func NewProblemMasked(model *fluxmodel.Model, points []geom.Point, measured, wei
 		}
 		cp = append(cp, points[i])
 		cm = append(cm, measured[i])
+		orig = append(orig, i)
 		if weights != nil {
 			cw = append(cw, weights[i])
 		}
 	}
-	return NewProblemWeighted(model, cp, cm, cw)
+	p, err := NewProblemWeighted(model, cp, cm, cw)
+	if err != nil {
+		return nil, err
+	}
+	// Record the compaction so the coarse prestage can read full-layout
+	// fingerprint columns through the mask (see Problem.origIdx).
+	p.origIdx = orig
+	p.fullSamples = len(present)
+	return p, nil
 }
 
 // RelativeWeightsMasked is RelativeWeights computed over only the present

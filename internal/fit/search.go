@@ -40,6 +40,19 @@ type Searcher struct {
 	oneShot  []candCol
 	oneArena []float64
 
+	// Coarse-prestage buffers (see coarse.go): per-cell and per-candidate
+	// matched-filter scores, the selection order, and the arena-backed
+	// per-user shortlists with their original-index maps.
+	cellScores     []float64
+	passScores     []float64
+	coarseRHS      []float64
+	candScores     []float64
+	coarseOrder    []int
+	coarseArena    []geom.Point
+	coarseIdxArena []int
+	coarseCands    [][]geom.Point
+	coarseIdx      [][]int
+
 	// met holds the bound observability handles (see SetMetrics); the zero
 	// value is the disabled instrument set, costing one nil branch per site.
 	met searchMetrics
@@ -56,6 +69,11 @@ type searchMetrics struct {
 	columns *obs.Counter // fit.search.columns: candidate kernel columns filled
 	solves  *obs.Counter // fit.nnls.solves: composition NNLS solves
 	iters   *obs.Counter // fit.nnls.iters: active-set NNLS iterations
+
+	// Coarse-prestage counters, only advanced when Options.Coarse is set.
+	knnProbes    *obs.Counter // fit.coarse.knn_probes: candidate→cell lookups
+	shortlisted  *obs.Counter // fit.coarse.shortlist: candidates surviving the prestage
+	exactAvoided *obs.Counter // fit.coarse.exact_avoided: candidates the exact stage skipped
 }
 
 // SetMetrics binds (or, with nil, unbinds) the Searcher's work counters.
@@ -71,11 +89,14 @@ func (s *Searcher) SetMetrics(m *obs.Metrics) {
 		return
 	}
 	s.met = searchMetrics{
-		m:       m,
-		calls:   m.Counter("fit.search.calls"),
-		columns: m.Counter("fit.search.columns"),
-		solves:  m.Counter("fit.nnls.solves"),
-		iters:   m.Counter("fit.nnls.iters"),
+		m:            m,
+		calls:        m.Counter("fit.search.calls"),
+		columns:      m.Counter("fit.search.columns"),
+		solves:       m.Counter("fit.nnls.solves"),
+		iters:        m.Counter("fit.nnls.iters"),
+		knnProbes:    m.Counter("fit.coarse.knn_probes"),
+		shortlisted:  m.Counter("fit.coarse.shortlist"),
+		exactAvoided: m.Counter("fit.coarse.exact_avoided"),
 	}
 }
 
@@ -179,17 +200,23 @@ func (s *Searcher) Search(p *Problem, candidates [][]geom.Point, opts Options) (
 	var solves0, iters0 uint64
 	if s.met.m != nil {
 		s.met.calls.Inc(0)
-		nCols := 0
-		for _, cs := range candidates {
-			nCols += len(cs)
-		}
-		s.met.columns.Add(0, uint64(nCols))
 		solves0, iters0 = s.WorkTotals()
 		defer func() { s.recordWork(solves0, iters0) }()
+	}
+	if opts.Coarse != nil {
+		return s.searchCoarse(p, candidates, opts)
 	}
 	if err := s.prepare(p, candidates, opts.Workers); err != nil {
 		return Result{}, err
 	}
+	return s.searchBody(p, candidates, opts)
+}
+
+// searchBody picks and runs the exact search strategy over prepared
+// candidate lists: exhaustive enumeration when the composition count fits
+// under MaxExhaustive, the iterated conditional approximation otherwise.
+// The caller must have run prepare on exactly these candidate lists.
+func (s *Searcher) searchBody(p *Problem, candidates [][]geom.Point, opts Options) (Result, error) {
 	total := 1
 	overflow := false
 	for _, cs := range candidates {
@@ -208,13 +235,18 @@ func (s *Searcher) Search(p *Problem, candidates [][]geom.Point, opts Options) (
 // prepare (re)builds the per-candidate caches. At the paper's 10,000
 // samples per user this loop dominates instant localization, and each
 // column is a pure function of its candidate, so it shards cleanly across
-// workers with results written into index-disjoint slots. All weighted
-// columns live in one arena that survives across searches.
+// workers with results written into index-disjoint slots: contiguous
+// candidate chunks go through the batched fluxmodel.KernelMatrixInto and a
+// finishing pass applies the weights and Gram scalars. All weighted columns
+// live in one arena that survives across searches.
 func (s *Searcher) prepare(p *Problem, candidates [][]geom.Point, workers int) error {
 	n := len(p.points)
 	total := 0
 	for _, cs := range candidates {
 		total += len(cs)
+	}
+	if s.met.m != nil {
+		s.met.columns.Add(0, uint64(total))
 	}
 	if cap(s.colArena) < total*n {
 		s.colArena = make([]float64, total*n)
@@ -227,6 +259,7 @@ func (s *Searcher) prepare(p *Problem, candidates [][]geom.Point, workers int) e
 	}
 	s.cands = s.cands[:len(candidates)]
 	off := 0
+	const prepChunk = 16
 	for j, cs := range candidates {
 		cs := cs
 		if cap(s.cands[j]) < len(cs) {
@@ -234,12 +267,19 @@ func (s *Searcher) prepare(p *Problem, candidates [][]geom.Point, workers int) e
 		}
 		s.cands[j] = s.cands[j][:len(cs)]
 		colj := s.cands[j]
+		base := off
 		for i := range colj {
 			colj[i].wcol = arena[off : off+n : off+n]
 			off += n
 		}
-		if err := parallelFor(len(cs), workers, func(w, i int) error {
-			p.fillCandCol(cs[i], &colj[i])
+		chunks := (len(cs) + prepChunk - 1) / prepChunk
+		if err := parallelFor(chunks, workers, func(_, ci int) error {
+			lo := ci * prepChunk
+			hi := min(lo+prepChunk, len(cs))
+			p.model.KernelMatrixInto(cs[lo:hi], p.points, arena[base+lo*n:base+hi*n])
+			for i := lo; i < hi; i++ {
+				p.finishCandCol(&colj[i])
+			}
 			return nil
 		}); err != nil {
 			return err

@@ -1,0 +1,134 @@
+package fit
+
+import (
+	"reflect"
+	"testing"
+
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/rng"
+)
+
+// Index-ordered tie-break coverage for the candidate rankings: equal
+// objectives — guaranteed here by duplicating candidate positions — must
+// always surface in ascending candidate-index order, on the exhaustive
+// path, the conditional path, and through the coarse prestage's remap.
+
+// duplicatedCandidates builds a candidate list where every position appears
+// twice: index i and i+n/2 hold the same point, so every objective is
+// exactly tied with its twin.
+func duplicatedCandidates(field geom.Rect, n int, src *rng.Source) []geom.Point {
+	half := n / 2
+	cands := make([]geom.Point, n)
+	for i := 0; i < half; i++ {
+		cands[i] = src.InRect(field)
+		cands[i+half] = cands[i]
+	}
+	return cands
+}
+
+// assertTieOrder fails unless equal-objective runs in the ranking are in
+// ascending index order.
+func assertTieOrder(t *testing.T, ranked []RankedPosition) {
+	t.Helper()
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Objective == ranked[i-1].Objective && ranked[i].Index < ranked[i-1].Index {
+			t.Fatalf("tied objectives out of index order at %d: %+v before %+v",
+				i, ranked[i-1], ranked[i])
+		}
+	}
+}
+
+// TestRankingTieBreakExhaustive: duplicated candidates on the exhaustive
+// path rank (objective, index) ascending, identically at every worker count.
+func TestRankingTieBreakExhaustive(t *testing.T) {
+	p, _ := modelProblem(t, []geom.Point{geom.Pt(12, 14)}, []float64{2}, 50, 31)
+	src := rng.New(41)
+	cands := [][]geom.Point{duplicatedCandidates(p.Model().Field(), 40, src)}
+	base, err := NewSearcher().Search(p, cands, Options{Workers: 1, TopM: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Exhaustive {
+		t.Fatal("expected the exhaustive path")
+	}
+	assertTieOrder(t, base.PerUser[0])
+	// Every candidate's twin must rank directly adjacent with the twin of
+	// higher index second.
+	for i := 1; i < len(base.PerUser[0]); i += 2 {
+		a, b := base.PerUser[0][i-1], base.PerUser[0][i]
+		if a.Pos != b.Pos || a.Index+20 != b.Index {
+			t.Fatalf("twins not adjacent in rank: %+v then %+v", a, b)
+		}
+	}
+	for _, w := range []int{2, 4, 0} {
+		res, err := NewSearcher().Search(p, cands, Options{Workers: w, TopM: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("workers=%d: tied ranking differs from serial", w)
+		}
+	}
+}
+
+// TestRankingTieBreakConditional: same property on the iterated conditional
+// path (two users force joint compositions; MaxExhaustive pushed below the
+// composition count).
+func TestRankingTieBreakConditional(t *testing.T) {
+	p, _ := modelProblem(t, []geom.Point{geom.Pt(8, 10), geom.Pt(22, 20)}, []float64{1.5, 2.5}, 50, 33)
+	src := rng.New(43)
+	field := p.Model().Field()
+	cands := [][]geom.Point{
+		duplicatedCandidates(field, 30, src),
+		duplicatedCandidates(field, 30, src),
+	}
+	base, err := NewSearcher().Search(p, cands, Options{Workers: 1, TopM: 30, MaxExhaustive: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Exhaustive {
+		t.Fatal("expected the conditional path")
+	}
+	for j := range base.PerUser {
+		assertTieOrder(t, base.PerUser[j])
+	}
+	for _, w := range []int{2, 4, 0} {
+		res, err := NewSearcher().Search(p, cands, Options{Workers: w, TopM: 30, MaxExhaustive: 10, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Fatalf("workers=%d: tied ranking differs from serial", w)
+		}
+	}
+}
+
+// TestRankingTieBreakCoarseRemap: through the coarse prestage the remapped
+// original indices must preserve the tie order (remapping is monotone
+// because shortlists are sorted ascending before the sub-search).
+func TestRankingTieBreakCoarseRemap(t *testing.T) {
+	p, pts := modelProblem(t, []geom.Point{geom.Pt(12, 14)}, []float64{2}, 50, 31)
+	src := rng.New(41)
+	cands := [][]geom.Point{duplicatedCandidates(p.Model().Field(), 40, src)}
+	db := coarseDB(t, p, pts, 10)
+	res, err := NewSearcher().Search(p, cands, Options{
+		TopM: 20, Coarse: &Coarse{DB: db, TopK: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTieOrder(t, res.PerUser[0])
+	seen := make(map[int]bool)
+	for _, r := range res.PerUser[0] {
+		if r.Index < 0 || r.Index >= 40 {
+			t.Fatalf("remapped index %d out of range", r.Index)
+		}
+		if seen[r.Index] {
+			t.Fatalf("remapped index %d repeated", r.Index)
+		}
+		seen[r.Index] = true
+		if cands[0][r.Index] != r.Pos {
+			t.Fatalf("remapped index %d does not point at its position", r.Index)
+		}
+	}
+}

@@ -167,6 +167,26 @@ func (m *Model) KernelVectorInto(sink geom.Point, pts []geom.Point, dst []float6
 	return dst
 }
 
+// KernelMatrixInto evaluates the kernel for a whole batch of sinks in one
+// pass: column j of the row-major len(sinks)×len(pts) matrix — the slice
+// dst[j*len(pts) : (j+1)*len(pts)] — receives KernelVectorInto(sinks[j],
+// pts, ...). dst must have length len(sinks)*len(pts); the filled matrix is
+// returned. The fingerprint database (internal/fingerprint) builds its grid
+// of flux-signature columns through this call, and the coarse-to-fine
+// candidate search fills the kernel columns of a whole shortlist with it,
+// so the per-sink setup (containment check, boundary slab offsets) is paid
+// once per column and the writes stay contiguous across the batch.
+func (m *Model) KernelMatrixInto(sinks, pts []geom.Point, dst []float64) []float64 {
+	n := len(pts)
+	if len(dst) != len(sinks)*n {
+		panic(fmt.Sprintf("fluxmodel: KernelMatrixInto destination length %d, want %d", len(dst), len(sinks)*n))
+	}
+	for j, sink := range sinks {
+		m.KernelVectorInto(sink, pts, dst[j*n:(j+1)*n])
+	}
+	return dst
+}
+
 // PredictFlux returns the model's combined flux prediction at each point of
 // pts for K sinks with integrated stretch factors cs (c_j = s_j/r):
 // F_i = Σ_j c_j g(sink_j, p_i). This is the estimated flux vector F̂ of

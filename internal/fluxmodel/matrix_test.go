@@ -1,0 +1,53 @@
+package fluxmodel
+
+import (
+	"testing"
+
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/rng"
+)
+
+// TestKernelMatrixIntoMatchesVector pins the batched matrix fill to the
+// per-sink vector path bit-for-bit: both run the same fused kernel per
+// column, so the batch is pure layout, not a numerical variant.
+func TestKernelMatrixIntoMatchesVector(t *testing.T) {
+	m, err := New(geom.Square(30), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(311)
+	pts := make([]geom.Point, 45)
+	for i := range pts {
+		pts[i] = src.InRect(m.Field())
+	}
+	sinks := make([]geom.Point, 17)
+	for j := range sinks {
+		sinks[j] = src.InRect(m.Field())
+	}
+	sinks[3] = geom.Pt(-4, 50) // outside the field: zero column
+	n := len(pts)
+	got := m.KernelMatrixInto(sinks, pts, make([]float64, len(sinks)*n))
+	col := make([]float64, n)
+	for j, sink := range sinks {
+		m.KernelVectorInto(sink, pts, col)
+		for i, want := range col {
+			if got[j*n+i] != want {
+				t.Fatalf("sink %d point %d: matrix %v != vector %v", j, i, got[j*n+i], want)
+			}
+		}
+	}
+}
+
+// TestKernelMatrixIntoBadLength pins the destination-length contract.
+func TestKernelMatrixIntoBadLength(t *testing.T) {
+	m, err := New(geom.Square(10), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short destination must panic")
+		}
+	}()
+	m.KernelMatrixInto(make([]geom.Point, 2), make([]geom.Point, 3), make([]float64, 5))
+}

@@ -1,0 +1,216 @@
+package geom
+
+// Quadtree is a bucketed point quadtree over a rectangular region,
+// supporting deterministic k-nearest-neighbor queries. The coarse-to-fine
+// candidate search (internal/fingerprint) uses it to map candidate
+// positions onto fingerprint grid cells; nothing in it is specific to that
+// use — it indexes arbitrary (id, point) pairs.
+//
+// Determinism contract: KNN orders results by (squared distance, id)
+// lexicographically, a total order, so the returned neighbors are a pure
+// function of the inserted set and the query — never of insertion order,
+// traversal order, or any scheduling. Equal-distance ties always resolve to
+// the lowest id, which is what lets the candidate shortlist of internal/fit
+// stay byte-identical between runs (see DESIGN.md §6.5).
+//
+// A Quadtree is not safe for concurrent mutation, but any number of
+// goroutines may run KNN concurrently once inserts are done: queries only
+// read the tree and write into caller-owned buffers.
+type Quadtree struct {
+	root qtNode
+	n    int
+}
+
+// qtBucket is the leaf capacity before a split. Small enough that leaf
+// scans stay cheap, large enough that degenerate splits are rare.
+const qtBucket = 8
+
+// qtMaxDepth bounds the tree depth so coincident (duplicate) points, which
+// can never be separated by splitting, degrade to one growing leaf bucket
+// instead of infinite recursion.
+const qtMaxDepth = 24
+
+// qtEntry is one indexed point.
+type qtEntry struct {
+	id int
+	p  Point
+}
+
+// qtNode is either a leaf (children nil, pts holds entries) or an internal
+// node with exactly four children ordered SW, SE, NW, NE.
+type qtNode struct {
+	bounds   Rect
+	children []qtNode // nil for a leaf; length 4 otherwise
+	pts      []qtEntry
+}
+
+// NewQuadtree returns an empty quadtree over bounds. Points inserted
+// outside bounds are routed to the nearest boundary cell but keep their
+// true coordinates for distance computations, so queries remain exact.
+func NewQuadtree(bounds Rect) *Quadtree {
+	return &Quadtree{root: qtNode{bounds: bounds}}
+}
+
+// Len returns the number of inserted points.
+func (q *Quadtree) Len() int { return q.n }
+
+// Insert adds point p under the given id. Ids need not be unique or dense,
+// but the KNN tie-break is only deterministic when ids order the points
+// totally — give duplicated positions distinct ids.
+func (q *Quadtree) Insert(id int, p Point) {
+	q.root.insert(qtEntry{id: id, p: p}, 0)
+	q.n++
+}
+
+// insert routes e to a leaf, splitting full leaves until qtMaxDepth.
+func (nd *qtNode) insert(e qtEntry, depth int) {
+	for {
+		if nd.children == nil {
+			if len(nd.pts) < qtBucket || depth >= qtMaxDepth {
+				nd.pts = append(nd.pts, e)
+				return
+			}
+			nd.split()
+		}
+		nd = &nd.children[nd.quadrant(e.p)]
+		depth++
+	}
+}
+
+// quadrant returns the child index for p: x and y are compared against the
+// node center with >= routing to the east/north half, so boundary points
+// have one deterministic home.
+func (nd *qtNode) quadrant(p Point) int {
+	c := nd.bounds.Center()
+	i := 0
+	if p.X >= c.X {
+		i |= 1
+	}
+	if p.Y >= c.Y {
+		i |= 2
+	}
+	return i
+}
+
+// split turns a leaf into an internal node and redistributes its bucket.
+func (nd *qtNode) split() {
+	c := nd.bounds.Center()
+	min, max := nd.bounds.Min, nd.bounds.Max
+	nd.children = []qtNode{
+		{bounds: Rect{Min: min, Max: c}},                         // SW
+		{bounds: Rect{Min: Pt(c.X, min.Y), Max: Pt(max.X, c.Y)}}, // SE
+		{bounds: Rect{Min: Pt(min.X, c.Y), Max: Pt(c.X, max.Y)}}, // NW
+		{bounds: Rect{Min: c, Max: max}},                         // NE
+	}
+	pts := nd.pts
+	nd.pts = nil
+	for _, e := range pts {
+		nd.children[nd.quadrant(e.p)].pts = append(nd.children[nd.quadrant(e.p)].pts, e)
+	}
+}
+
+// Neighbor is one KNN result.
+type Neighbor struct {
+	ID    int
+	P     Point
+	Dist2 float64 // squared Euclidean distance to the query point
+}
+
+// better reports whether (d2, id) orders strictly before n — the total
+// order all KNN results obey.
+func (n Neighbor) better(d2 float64, id int) bool {
+	if d2 != n.Dist2 {
+		return d2 < n.Dist2
+	}
+	return id < n.ID
+}
+
+// minDist2 returns the squared distance from p to the nearest point of r
+// (zero when p is inside r).
+func minDist2(r Rect, p Point) float64 {
+	dx := 0.0
+	if p.X < r.Min.X {
+		dx = r.Min.X - p.X
+	} else if p.X > r.Max.X {
+		dx = p.X - r.Max.X
+	}
+	dy := 0.0
+	if p.Y < r.Min.Y {
+		dy = r.Min.Y - p.Y
+	} else if p.Y > r.Max.Y {
+		dy = p.Y - r.Max.Y
+	}
+	return dx*dx + dy*dy
+}
+
+// KNN returns the k nearest inserted points to p, ordered by
+// (squared distance, id) ascending, appended into dst (pass dst[:0] to
+// reuse a buffer; a nil dst allocates). Fewer than k points are returned
+// only when the tree holds fewer than k. The query never mutates the tree,
+// so concurrent KNN calls with distinct dst buffers are safe.
+func (q *Quadtree) KNN(p Point, k int, dst []Neighbor) []Neighbor {
+	dst = dst[:0]
+	if k <= 0 || q.n == 0 {
+		return dst
+	}
+	return q.root.knn(p, k, dst)
+}
+
+// Nearest returns the single nearest inserted point to p; ok is false for
+// an empty tree. Ties resolve to the lowest id.
+func (q *Quadtree) Nearest(p Point) (Neighbor, bool) {
+	var buf [1]Neighbor
+	res := q.KNN(p, 1, buf[:0])
+	if len(res) == 0 {
+		return Neighbor{}, false
+	}
+	return res[0], true
+}
+
+// knn walks the subtree, maintaining dst as the sorted current-best list of
+// at most k neighbors. Subtrees are pruned only when their bounding box is
+// strictly farther than the current worst: an equal-distance box may still
+// hold a lower id, which the tie-break must surface.
+func (nd *qtNode) knn(p Point, k int, dst []Neighbor) []Neighbor {
+	if len(dst) == k && minDist2(nd.bounds, p) > dst[k-1].Dist2 {
+		return dst
+	}
+	if nd.children == nil {
+		for _, e := range nd.pts {
+			d2 := p.Dist2(e.p)
+			if len(dst) == k && !dst[k-1].better(d2, e.id) {
+				continue
+			}
+			// Insertion sort by (d2, id); drop the worst when over k.
+			i := len(dst)
+			if i < k {
+				dst = append(dst, Neighbor{})
+			} else {
+				i = k - 1
+			}
+			for i > 0 && dst[i-1].better(d2, e.id) {
+				dst[i] = dst[i-1]
+				i--
+			}
+			dst[i] = Neighbor{ID: e.id, P: e.p, Dist2: d2}
+		}
+		return dst
+	}
+	// Visit children nearest-box first so the worst bound tightens early;
+	// the visit order affects only pruning efficiency, never the result.
+	var order [4]int
+	var dist [4]float64
+	for i := range nd.children {
+		order[i] = i
+		dist[i] = minDist2(nd.children[i].bounds, p)
+	}
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0 && dist[order[j]] < dist[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, ci := range order {
+		dst = nd.children[ci].knn(p, k, dst)
+	}
+	return dst
+}

@@ -1,0 +1,180 @@
+package geom
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// qtSource is a tiny splitmix64 stream so the quadtree tests do not import
+// internal/rng (which would create an import cycle through geom).
+type qtSource struct{ state uint64 }
+
+func (s *qtSource) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *qtSource) float64() float64 { return float64(s.next()>>11) / (1 << 53) }
+
+// bruteKNN is the linear-scan oracle: exact k nearest by (dist2, id).
+func bruteKNN(pts []Point, q Point, k int) []Neighbor {
+	all := make([]Neighbor, len(pts))
+	for i, p := range pts {
+		all[i] = Neighbor{ID: i, P: p, Dist2: q.Dist2(p)}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Dist2 != all[b].Dist2 {
+			return all[a].Dist2 < all[b].Dist2
+		}
+		return all[a].ID < all[b].ID
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// randomPoints draws n points in the square, deliberately including exact
+// duplicates and boundary/grid-line-grazing coordinates: every fourth point
+// copies an earlier one and every fifth snaps to an integer lattice (which
+// lands exactly on quadtree split lines).
+func randomPoints(src *qtSource, n int, side float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		switch {
+		case i%4 == 3 && i > 0:
+			pts[i] = pts[int(src.next()%uint64(i))]
+		case i%5 == 2:
+			pts[i] = Pt(math.Floor(src.float64()*side), math.Floor(src.float64()*side))
+		default:
+			pts[i] = Pt(src.float64()*side, src.float64()*side)
+		}
+	}
+	return pts
+}
+
+func buildTree(pts []Point, bounds Rect) *Quadtree {
+	qt := NewQuadtree(bounds)
+	for i, p := range pts {
+		qt.Insert(i, p)
+	}
+	return qt
+}
+
+// TestQuadtreeKNNMatchesBruteForce is the core property test: over
+// randomized point sets (with duplicates and split-line points) and
+// randomized queries, KNN must agree exactly — ids, order, and distances —
+// with the linear-scan oracle for every k.
+func TestQuadtreeKNNMatchesBruteForce(t *testing.T) {
+	src := &qtSource{state: 7}
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + int(src.next()%200)
+		pts := randomPoints(src, n, 30)
+		qt := buildTree(pts, Square(30))
+		if qt.Len() != n {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, qt.Len(), n)
+		}
+		var buf []Neighbor
+		for _, k := range []int{1, 2, 3, 7, n, n + 5} {
+			q := Pt(src.float64()*36-3, src.float64()*36-3) // queries may fall outside
+			want := bruteKNN(pts, q, k)
+			buf = qt.KNN(q, k, buf)
+			if !reflect.DeepEqual([]Neighbor(buf), want) {
+				t.Fatalf("trial %d k=%d query=%v:\n got %v\nwant %v", trial, k, q, buf, want)
+			}
+		}
+	}
+}
+
+// TestQuadtreeKNNTieBreakIndexOrder pins the determinism contract on exact
+// ties: coincident points and symmetric layouts must always surface the
+// lowest id first.
+func TestQuadtreeKNNTieBreakIndexOrder(t *testing.T) {
+	qt := NewQuadtree(Square(10))
+	// Twelve copies of the same point (forces bucket overflow on a
+	// coincident set) plus a symmetric ring around the query.
+	for i := 0; i < 12; i++ {
+		qt.Insert(i, Pt(2, 2))
+	}
+	ring := []Point{Pt(6, 5), Pt(4, 5), Pt(5, 6), Pt(5, 4)}
+	for i, p := range ring {
+		qt.Insert(100+i, p)
+	}
+	got := qt.KNN(Pt(2, 2), 5, nil)
+	for i, nb := range got {
+		if nb.ID != i || nb.Dist2 != 0 {
+			t.Fatalf("duplicate tie-break: result %d = %+v, want id %d at dist 0", i, nb, i)
+		}
+	}
+	got = qt.KNN(Pt(5, 5), 3, nil)
+	wantIDs := []int{100, 101, 102}
+	for i, nb := range got {
+		if nb.ID != wantIDs[i] {
+			t.Fatalf("ring tie-break: got ids %v, want %v", got, wantIDs)
+		}
+	}
+}
+
+// TestQuadtreeOutsidePoints checks points inserted outside the bounds are
+// still found exactly (they are routed to boundary cells but keep true
+// coordinates).
+func TestQuadtreeOutsidePoints(t *testing.T) {
+	pts := []Point{Pt(-5, -5), Pt(35, 14), Pt(15, 15), Pt(40, 40)}
+	qt := buildTree(pts, Square(30))
+	for _, q := range []Point{Pt(-4, -4), Pt(34, 15), Pt(0, 0), Pt(50, 50)} {
+		want := bruteKNN(pts, q, 2)
+		got := qt.KNN(q, 2, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %v: got %v, want %v", q, got, want)
+		}
+	}
+}
+
+// TestQuadtreeEmptyAndDegenerate covers the k<=0, empty-tree, and
+// single-point edges.
+func TestQuadtreeEmptyAndDegenerate(t *testing.T) {
+	qt := NewQuadtree(Square(1))
+	if got := qt.KNN(Pt(0, 0), 3, nil); len(got) != 0 {
+		t.Fatalf("empty tree KNN returned %v", got)
+	}
+	if _, ok := qt.Nearest(Pt(0, 0)); ok {
+		t.Fatal("empty tree Nearest reported ok")
+	}
+	qt.Insert(42, Pt(0.5, 0.5))
+	if got := qt.KNN(Pt(0, 0), 0, nil); len(got) != 0 {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	nb, ok := qt.Nearest(Pt(1, 1))
+	if !ok || nb.ID != 42 {
+		t.Fatalf("Nearest = %+v ok=%v, want id 42", nb, ok)
+	}
+}
+
+// FuzzKNN lets the mutation engine hunt for (point set, query, k)
+// combinations where the quadtree disagrees with the linear-scan oracle.
+func FuzzKNN(f *testing.F) {
+	f.Add(uint64(1), uint(20), uint(3), 12.0, 7.0)
+	f.Add(uint64(99), uint(1), uint(1), -5.0, 31.0)
+	f.Add(uint64(1234), uint(150), uint(10), 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, seed uint64, n, k uint, qx, qy float64) {
+		if math.IsNaN(qx) || math.IsNaN(qy) || math.IsInf(qx, 0) || math.IsInf(qy, 0) {
+			t.Skip()
+		}
+		nn := int(n%300) + 1
+		kk := int(k%32) + 1
+		src := &qtSource{state: seed}
+		pts := randomPoints(src, nn, 30)
+		qt := buildTree(pts, Square(30))
+		q := Pt(qx, qy)
+		want := bruteKNN(pts, q, kk)
+		got := qt.KNN(q, kk, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed=%d n=%d k=%d query=%v:\n got %v\nwant %v", seed, nn, kk, q, got, want)
+		}
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"fluxtrack/internal/fingerprint"
 	"fluxtrack/internal/fit"
 	"fluxtrack/internal/fluxmodel"
 	"fluxtrack/internal/geom"
@@ -44,6 +45,14 @@ type Config struct {
 	IdleStretchFrac float64
 	// Search tunes the inner candidate-ranking search.
 	Search fit.Options
+	// Coarse enables the coarse-to-fine prestage of the inner search: New
+	// precomputes a fingerprint database over SamplePoints and every round's
+	// candidate search shortlists Coarse.TopK candidates per user by
+	// fingerprint-cell score before the exact Gram/NNLS ranking (see
+	// internal/fingerprint and fit.Coarse). TopK at or above N degrades to
+	// the exact search with byte-identical output. Ignored when
+	// Search.Coarse is already set explicitly.
+	Coarse fingerprint.CoarseConfig
 	// UseRelativeWeights applies fit.RelativeWeights to each observation.
 	UseRelativeWeights bool
 	// UniformWeights disables the importance weighting of §4.D: kept
@@ -132,6 +141,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StaleAttenuation < 0 {
 		c.StaleAttenuation = 0
+	}
+	if c.Coarse.Enabled {
+		c.Coarse = c.Coarse.WithDefaults()
 	}
 	return c
 }
@@ -272,6 +284,16 @@ func New(cfg Config, seed uint64) (*Tracker, error) {
 		users:    make([]userState, cfg.NumUsers),
 		searcher: fit.NewSearcher(),
 		seed:     seed,
+	}
+	if cfg.Coarse.Enabled && tr.cfg.Search.Coarse == nil {
+		// Precompute the fingerprint database once for the tracker's
+		// lifetime: the sample layout is fixed, so every round's search
+		// shares the same grid signatures.
+		db, err := fingerprint.NewDB(cfg.Model, cfg.SamplePoints, cfg.Coarse, cfg.Workers, cfg.Metrics)
+		if err != nil {
+			return nil, fmt.Errorf("smc: fingerprint database: %w", err)
+		}
+		tr.cfg.Search.Coarse = &fit.Coarse{DB: db, TopK: tr.cfg.Coarse.TopK}
 	}
 	// Bind the observability handles once; the searcher needs an explicit
 	// bind because the incumbent fits of the active-set selection go
@@ -505,7 +527,15 @@ func (tr *Tracker) selectActive(prob *fit.Problem, t float64) ([]int, error) {
 	for i, j := range initialized {
 		byStretch[i] = userStretch{user: j, c: ev.Stretches[i]}
 	}
-	sort.Slice(byStretch, func(a, b int) bool { return byStretch[a].c > byStretch[b].c })
+	sort.Slice(byStretch, func(a, b int) bool {
+		// Strongest first; exact stretch ties resolve to the lower user
+		// index so the selected membership can never depend on sort
+		// internals (sort.Slice is unstable).
+		if byStretch[a].c != byStretch[b].c {
+			return byStretch[a].c > byStretch[b].c
+		}
+		return byStretch[a].user < byStretch[b].user
+	})
 	for _, us := range byStretch {
 		if maxStretch > 0 && us.c >= tr.cfg.IdleStretchFrac*maxStretch {
 			add(us.user)
@@ -521,7 +551,15 @@ func (tr *Tracker) selectActive(prob *fit.Problem, t float64) ([]int, error) {
 	if obsNorm > 0 && ev.Objective > 0.3*obsNorm {
 		stale := append([]int(nil), initialized...)
 		sort.Slice(stale, func(a, b int) bool {
-			return tr.users[stale[a]].lastUpdate < tr.users[stale[b]].lastUpdate
+			// Stalest first; users updated in the same round (equal
+			// lastUpdate — the common case right after bootstrap) fill the
+			// remaining slots in ascending index order, again keeping the
+			// membership independent of sort internals.
+			ua, ub := stale[a], stale[b]
+			if tr.users[ua].lastUpdate != tr.users[ub].lastUpdate {
+				return tr.users[ua].lastUpdate < tr.users[ub].lastUpdate
+			}
+			return ua < ub
 		})
 		for _, j := range stale {
 			add(j)
