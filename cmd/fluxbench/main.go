@@ -39,10 +39,20 @@
 //	fluxbench compare old.json new.json     # speedup table between two -json reports
 //	fluxbench compare -maxregress 2.0 old.json new.json  # exit 1 if new total > 2x old
 //
+// Field sharding (see internal/shard; tiles the field into an RxC grid of
+// independent trackers with cross-tile handoff — a 1x1 grid is byte-identical
+// to the unsharded tracker):
+//
+//	fluxbench -quick -shards 2x2 -halo 2         # run the suite through a 2x2 tile grid
+//	fluxbench shardbench                         # step throughput vs tile grid (1x1 vs 2x2)
+//	fluxbench shardbench -grids 1x1,2x2,4x2 -trackn 10000 -json shard.json
+//	fluxbench -quick -shardbench -json out.json  # embed the sweep in the main report
+//
 // Tracker latency:
 //
 //	fluxbench latency                        # Step wall-time p50/p95 vs worker count
 //	fluxbench latency -workers 1,8 -json latency.json
+//	fluxbench latency -shards 1x1,2x2        # per-tile queue/step breakdown per grid
 //
 // Tables are byte-identical for every -workers value (see internal/exp),
 // and so is tracker output (see internal/smc): -workers trades wall time
@@ -67,6 +77,7 @@ import (
 	"fluxtrack/internal/fingerprint"
 	"fluxtrack/internal/obs"
 	"fluxtrack/internal/plot"
+	"fluxtrack/internal/shard"
 )
 
 // benchReport is the schema written by -json: enough configuration to
@@ -81,6 +92,8 @@ type benchReport struct {
 	Workers      int               `json:"workers"`               // 0 = GOMAXPROCS
 	CoarseTopK   int               `json:"coarse_topk,omitempty"` // 0 = exact search
 	CoarseGrid   int               `json:"coarse_grid,omitempty"`
+	Shards       string            `json:"shards,omitempty"` // RxC tile grid, "" = unsharded
+	Halo         float64           `json:"halo,omitempty"`   // tile halo width for Shards
 	GOMAXPROCS   int               `json:"gomaxprocs"`
 	GoVersion    string            `json:"go_version"`
 	Experiments  []benchExperiment `json:"experiments"`
@@ -88,6 +101,9 @@ type benchReport struct {
 	// Metrics is the merged observability snapshot of the whole run, present
 	// only when -metrics or -metricsout was given (see internal/obs).
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// ShardThroughput is the tile-grid throughput sweep, present only when
+	// -shardbench was given (see fluxbench shardbench).
+	ShardThroughput *shardThroughputReport `json:"shard_throughput,omitempty"`
 }
 
 type benchExperiment struct {
@@ -110,6 +126,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "latency" {
 		return runLatency(args[1:])
+	}
+	if len(args) > 0 && args[0] == "shardbench" {
+		return runShardBench(args[1:])
 	}
 	if len(args) > 0 && args[0] == "report" {
 		return runReport(args[1:])
@@ -137,6 +156,9 @@ func run(args []string) error {
 		chart   = fs.Bool("chart", false, "render an ASCII bar chart per table column")
 		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		shards  = fs.String("shards", "", "track through a RxC tile grid (internal/shard), e.g. 2x2; empty = unsharded")
+		halo    = fs.Float64("halo", 0, "tile halo width for -shards: sensors within this margin report to both neighbors")
+		shardBn = fs.Bool("shardbench", false, "append the shard throughput sweep (fluxbench shardbench defaults) to the run and the -json report")
 		metrics = fs.Bool("metrics", false, "collect work counters and latency histograms; print the merged snapshot at exit")
 		metOut  = fs.String("metricsout", "", "write the metrics snapshot as JSON to this file (implies collection)")
 		trOut   = fs.String("trace", "", "write one JSON span per tracker round to this file (JSON lines)")
@@ -210,6 +232,20 @@ func run(args []string) error {
 	}
 	if *coarse || *coarseK > 0 || *coarseG > 0 {
 		cfg.Coarse = fingerprint.CoarseConfig{Enabled: true, TopK: *coarseK, GridRes: *coarseG}.WithDefaults()
+		// One cache for the whole run: trials of a cell and tiles of a
+		// sharded field share identical (model, bounds, sensors) layouts only
+		// within a trial, but repeated cells re-derive identical worlds from
+		// the same seeds, so memoizing across the run removes those rebuilds
+		// without changing any table (see fingerprint.Cache).
+		cfg.DBCache = fingerprint.NewCache(0)
+	}
+	if *shards != "" {
+		grid, err := shard.ParseGrid(*shards)
+		if err != nil {
+			return err
+		}
+		grid.Halo = *halo
+		cfg.Shards = grid
 	}
 	var met *obs.Metrics
 	if *metrics || *metOut != "" {
@@ -242,10 +278,14 @@ func run(args []string) error {
 		CoarseTopK: cfg.Coarse.TopK,
 		CoarseGrid: cfg.Coarse.GridRes,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Halo:       cfg.Shards.Halo,
 		GoVersion:  runtime.Version(),
 	}
 	if *quick {
 		report.Config = "quick"
+	}
+	if cfg.Shards.Tiles() > 0 {
+		report.Shards = cfg.Shards.String()
 	}
 
 	allStart := time.Now()
@@ -266,6 +306,16 @@ func run(args []string) error {
 		})
 	}
 	report.TotalSeconds = time.Since(allStart).Seconds()
+
+	if *shardBn {
+		fmt.Println("== shard throughput (fluxbench shardbench)")
+		sweep, err := runShardSweep(defaultShardBenchOpts())
+		if err != nil {
+			return fmt.Errorf("shardbench: %w", err)
+		}
+		report.ShardThroughput = &sweep
+		fmt.Println()
+	}
 
 	if met != nil {
 		snap := met.Snapshot()

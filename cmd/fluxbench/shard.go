@@ -1,0 +1,258 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"fluxtrack/internal/core"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/mobility"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/shard"
+	"fluxtrack/internal/stats"
+	"fluxtrack/internal/traffic"
+)
+
+// shardThroughputReport is the schema written by `fluxbench shardbench
+// -json` (and embedded in the main report under "shard_throughput" by
+// -shardbench): tracker-step throughput for the same world tracked through
+// increasingly sharded tile grids. The gain is algorithmic, not parallel —
+// each tile fits only its own sensors against its own users, so the
+// per-candidate Gram work shrinks with the tile — and therefore shows up
+// even at -workers 1 on a single-core machine.
+type shardThroughputReport struct {
+	Users      int                    `json:"users"`
+	TrackN     int                    `json:"track_n"`
+	Samples    int                    `json:"sample_nodes"`
+	Rounds     int                    `json:"rounds"`
+	Repeats    int                    `json:"repeats"`
+	Halo       float64                `json:"halo"`
+	Workers    int                    `json:"workers"`
+	Seed       uint64                 `json:"seed"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	GoVersion  string                 `json:"go_version"`
+	Entries    []shardThroughputEntry `json:"entries"`
+}
+
+type shardThroughputEntry struct {
+	Grid        string  `json:"grid"`
+	Tiles       int     `json:"tiles"`
+	Steps       int     `json:"steps"`
+	MeanMs      float64 `json:"mean_ms"`
+	P95ms       float64 `json:"p95_ms"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	UsersPerSec float64 `json:"users_per_sec"`
+	Handoffs    int     `json:"handoffs"`
+	Speedup     float64 `json:"speedup_vs_first"` // first-grid mean / this mean
+}
+
+// shardBenchOpts parameterizes one throughput sweep.
+type shardBenchOpts struct {
+	users   int
+	trackN  int
+	samples int
+	rounds  int
+	repeats int
+	halo    float64
+	workers int
+	seed    uint64
+	grids   []shard.Grid
+}
+
+func defaultShardBenchOpts() shardBenchOpts {
+	return shardBenchOpts{
+		users: 4, trackN: 10000, samples: 90, rounds: 6, repeats: 2,
+		halo: 2, workers: 1, seed: 1,
+		grids: []shard.Grid{{Rows: 1, Cols: 1}, {Rows: 2, Cols: 2}},
+	}
+}
+
+// runShardBench is the `fluxbench shardbench` subcommand.
+func runShardBench(args []string) error {
+	fs := flag.NewFlagSet("fluxbench shardbench", flag.ContinueOnError)
+	d := defaultShardBenchOpts()
+	var (
+		users   = fs.Int("users", d.users, "number of tracked users (one per quadrant orbit)")
+		trackN  = fs.Int("trackn", d.trackN, "SMC prediction samples per user per round")
+		samples = fs.Int("samples", d.samples, "number of sniffed nodes")
+		rounds  = fs.Int("rounds", d.rounds, "observation rounds per repeat")
+		repeats = fs.Int("repeats", d.repeats, "fresh-tracker repeats per grid")
+		halo    = fs.Float64("halo", d.halo, "tile halo width shared by every sharded grid")
+		workers = fs.Int("workers", d.workers, "worker count for tile fan-out and tile steps (1 isolates the algorithmic gain)")
+		seed    = fs.Uint64("seed", d.seed, "base seed for scenario, trajectories, and trackers")
+		list    = fs.String("grids", "1x1,2x2", "comma-separated RxC tile grids")
+		jsonOut = fs.String("json", "", "write a JSON throughput report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	grids, err := parseGridList(*list)
+	if err != nil {
+		return err
+	}
+	opts := shardBenchOpts{
+		users: *users, trackN: *trackN, samples: *samples, rounds: *rounds,
+		repeats: *repeats, halo: *halo, workers: *workers, seed: *seed, grids: grids,
+	}
+	report, err := runShardSweep(opts)
+	if err != nil {
+		return err
+	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote shard throughput report to %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// parseGridList parses "1x1,2x2,4x2" into tile grids.
+func parseGridList(s string) ([]shard.Grid, error) {
+	parts := strings.Split(s, ",")
+	out := make([]shard.Grid, 0, len(parts))
+	for _, p := range parts {
+		g, err := shard.ParseGrid(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("shardbench: %w", err)
+		}
+		out = append(out, g)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("shardbench: empty -grids list")
+	}
+	return out, nil
+}
+
+// shardBenchTrajectories lays the users on gentle linear orbits, one per
+// field quadrant (cycling with a small offset past four), so every grid in
+// the sweep tracks identical motion and a 2×2 split keeps roughly one user
+// per tile — the work-reduction regime sharding targets.
+func shardBenchTrajectories(field geom.Rect, users int) []mobility.Trajectory {
+	w, h := field.Width(), field.Height()
+	at := func(fx, fy, vx, vy float64) mobility.Linear {
+		return mobility.Linear{
+			Start: geom.Pt(field.Min.X+fx*w, field.Min.Y+fy*h),
+			V:     geom.Vec{DX: vx, DY: vy},
+		}
+	}
+	base := []mobility.Linear{
+		at(0.23, 0.23, 0.017*w, 0.013*h),
+		at(0.77, 0.27, -0.013*w, 0.017*h),
+		at(0.27, 0.73, 0.017*w, -0.013*h),
+		at(0.73, 0.77, -0.017*w, -0.017*h),
+	}
+	out := make([]mobility.Trajectory, users)
+	for i := range out {
+		tr := base[i%len(base)]
+		off := 0.023 * float64(i/len(base))
+		tr.Start = geom.Pt(tr.Start.X+off*w, tr.Start.Y+off*h)
+		out[i] = tr
+	}
+	return out
+}
+
+// runShardSweep measures Field.Step wall time for each tile grid over one
+// precomputed observation stream. Every grid replays the same stream from
+// the same seed; only the tiling differs.
+func runShardSweep(opts shardBenchOpts) (shardThroughputReport, error) {
+	src := rng.New(opts.seed)
+	sc, err := core.NewScenario(core.ScenarioConfig{}, src)
+	if err != nil {
+		return shardThroughputReport{}, err
+	}
+	sniffer, err := sc.NewSnifferCount(opts.samples, src)
+	if err != nil {
+		return shardThroughputReport{}, err
+	}
+	trajs := shardBenchTrajectories(sc.Field(), opts.users)
+	stretches := make([]float64, opts.users)
+	starts := make([]geom.Point, opts.users)
+	for i := range stretches {
+		stretches[i] = src.Uniform(1, 3)
+		starts[i] = sc.Field().Clamp(trajs[i].At(0))
+	}
+	obs := make([][]float64, opts.rounds)
+	for r := range obs {
+		t := float64(r + 1)
+		us := make([]traffic.User, opts.users)
+		for i, tr := range trajs {
+			us[i] = traffic.User{Pos: sc.Field().Clamp(tr.At(t)), Stretch: stretches[i], Active: true}
+		}
+		o, err := sniffer.Observe(us, 0, src)
+		if err != nil {
+			return shardThroughputReport{}, err
+		}
+		obs[r] = o
+	}
+	trackerSeed := src.Uint64()
+
+	report := shardThroughputReport{
+		Users: opts.users, TrackN: opts.trackN, Samples: opts.samples,
+		Rounds: opts.rounds, Repeats: opts.repeats, Halo: opts.halo,
+		Workers: opts.workers, Seed: opts.seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+
+	var firstMean float64
+	fmt.Printf("%6s %6s %7s %10s %10s %11s %12s %9s %9s\n",
+		"grid", "tiles", "steps", "mean ms", "p95 ms", "steps/sec", "users/sec", "handoffs", "speedup")
+	for gi, g := range opts.grids {
+		grid := g
+		grid.Halo = opts.halo
+		durations := make([]float64, 0, opts.rounds*opts.repeats)
+		handoffs := 0
+		for rep := 0; rep < opts.repeats; rep++ {
+			field, err := sniffer.NewShardedTracker(opts.users, core.TrackerConfig{
+				N: opts.trackN, M: 10, VMax: 5,
+				Shards: grid, InitialPositions: starts, Workers: opts.workers,
+			}, trackerSeed)
+			if err != nil {
+				return shardThroughputReport{}, err
+			}
+			for r, o := range obs {
+				t0 := time.Now()
+				if _, err := field.Step(float64(r+1), o); err != nil {
+					return shardThroughputReport{}, err
+				}
+				durations = append(durations, time.Since(t0).Seconds()*1e3)
+			}
+			handoffs = field.Handoffs()
+		}
+		sort.Float64s(durations)
+		entry := shardThroughputEntry{
+			Grid:     grid.String(),
+			Tiles:    grid.Tiles(),
+			Steps:    len(durations),
+			MeanMs:   stats.Mean(durations),
+			P95ms:    stats.Percentile(durations, 95),
+			Handoffs: handoffs,
+		}
+		if entry.MeanMs > 0 {
+			entry.StepsPerSec = 1e3 / entry.MeanMs
+			entry.UsersPerSec = float64(opts.users) * 1e3 / entry.MeanMs
+		}
+		if gi == 0 {
+			firstMean = entry.MeanMs
+		}
+		if entry.MeanMs > 0 {
+			entry.Speedup = firstMean / entry.MeanMs
+		}
+		report.Entries = append(report.Entries, entry)
+		fmt.Printf("%6s %6d %7d %10.2f %10.2f %11.2f %12.2f %9d %8.2fx\n",
+			entry.Grid, entry.Tiles, entry.Steps, entry.MeanMs, entry.P95ms,
+			entry.StepsPerSec, entry.UsersPerSec, entry.Handoffs, entry.Speedup)
+	}
+	return report, nil
+}

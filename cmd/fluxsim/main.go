@@ -10,6 +10,7 @@
 //	fluxsim -users 2 -dropout 0.2 -loss 0.1   # localize from a degraded sniff
 //	fluxsim -users 3 -metrics     # print the run's work counters at exit
 //	fluxsim -users 3 -coarse -coarsek 64      # coarse-to-fine candidate shortlist
+//	fluxsim -users 4 -shards 2x2 -halo 2      # tiled tracking demo with handoff log
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/obs"
 	"fluxtrack/internal/rng"
+	"fluxtrack/internal/shard"
 	"fluxtrack/internal/traffic"
 )
 
@@ -54,6 +56,10 @@ func run(args []string) error {
 		coarse  = fs.Bool("coarse", false, "shortlist candidates through the coarse-to-fine fingerprint search")
 		coarseK = fs.Int("coarsek", 0, "coarse shortlist size per user (0 = default 64; implies -coarse)")
 		coarseG = fs.Int("coarsegrid", 0, "fingerprint grid resolution per axis (0 = default 24; implies -coarse)")
+		shards  = fs.String("shards", "", "also run the tiled tracking demo over a RxC tile grid (internal/shard), e.g. 2x2")
+		halo    = fs.Float64("halo", 0, "tile halo width for -shards: sensors within this margin report to both neighbors")
+		rounds  = fs.Int("rounds", 8, "tracking rounds for the -shards demo")
+		trackN  = fs.Int("trackn", 1000, "SMC prediction samples per user per round in the -shards demo")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,8 +107,9 @@ func run(args []string) error {
 		return err
 	}
 	opts := fit.Options{Samples: *samples, TopM: 10, Workers: *workers, Metrics: met}
+	var ccfg fingerprint.CoarseConfig
 	if *coarse || *coarseK > 0 || *coarseG > 0 {
-		ccfg := fingerprint.CoarseConfig{Enabled: true, TopK: *coarseK, GridRes: *coarseG}.WithDefaults()
+		ccfg = fingerprint.CoarseConfig{Enabled: true, TopK: *coarseK, GridRes: *coarseG}.WithDefaults()
 		db, err := sniffer.NewFingerprintDB(ccfg, *workers, met)
 		if err != nil {
 			return err
@@ -154,6 +161,16 @@ func run(args []string) error {
 	mean /= float64(len(errs))
 	fmt.Printf("  mean matched error: %.2f (%.1f%% of field diameter)\n",
 		mean, 100*mean/sc.Field().Diameter())
+	if *shards != "" {
+		grid, err := shard.ParseGrid(*shards)
+		if err != nil {
+			return err
+		}
+		grid.Halo = *halo
+		if err := runShardDemo(sc, sniffer, userSet, grid, *rounds, *trackN, *workers, ccfg, met, src); err != nil {
+			return err
+		}
+	}
 	if met != nil {
 		fmt.Println("\nmetrics:")
 		fmt.Print(met.Snapshot().Format())

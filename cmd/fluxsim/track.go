@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+
+	"fluxtrack/internal/core"
+	"fluxtrack/internal/fingerprint"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/mobility"
+	"fluxtrack/internal/obs"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/shard"
+	"fluxtrack/internal/traffic"
+)
+
+// runShardDemo tracks the users through a tiled multi-shard field
+// (internal/shard), printing the tile layout, each round's per-user estimate
+// with its owning tile, and every cross-tile handoff as it happens. The
+// users walk on speed-bounded random walks from their sniffed positions, so
+// handoffs occur naturally whenever a walk crosses a seam.
+func runShardDemo(sc *core.Scenario, sniffer *core.Sniffer, userSet []traffic.User,
+	grid shard.Grid, rounds, trackN, workers int, ccfg fingerprint.CoarseConfig,
+	met *obs.Metrics, src *rng.Source) error {
+	k := len(userSet)
+	walks := make([]mobility.Trajectory, k)
+	starts := make([]geom.Point, k)
+	stretches := make([]float64, k)
+	for i, u := range userSet {
+		w, err := mobility.NewRandomWalk(sc.Field(), u.Pos, 2, rounds+1, src)
+		if err != nil {
+			return err
+		}
+		walks[i] = w
+		starts[i] = u.Pos
+		stretches[i] = u.Stretch
+	}
+	field, err := sniffer.NewShardedTracker(k, core.TrackerConfig{
+		N: trackN, M: 10, VMax: 5, Workers: workers, Coarse: ccfg,
+		Shards: grid, InitialPositions: starts, Metrics: met,
+	}, src.Uint64())
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nfield sharding: %s tiles (halo %g), tracking %d users for %d rounds\n",
+		grid, grid.Halo, k, rounds)
+	for i := 0; i < field.NumTiles(); i++ {
+		ti := field.Tile(i)
+		fmt.Printf("  tile %d: rect (%.1f,%.1f)-(%.1f,%.1f)  bounds (%.1f,%.1f)-(%.1f,%.1f)  %d sensors  sink node %d\n",
+			ti.Index, ti.Rect.Min.X, ti.Rect.Min.Y, ti.Rect.Max.X, ti.Rect.Max.Y,
+			ti.Bounds.Min.X, ti.Bounds.Min.Y, ti.Bounds.Max.X, ti.Bounds.Max.Y,
+			ti.Sensors, ti.Sink)
+	}
+
+	owners := make([]int, k)
+	for j := range owners {
+		owners[j] = field.Owner(j)
+	}
+	for round := 1; round <= rounds; round++ {
+		t := float64(round)
+		truths := make([]traffic.User, k)
+		for i, w := range walks {
+			truths[i] = traffic.User{Pos: sc.Field().Clamp(w.At(t)), Stretch: stretches[i], Active: true}
+		}
+		o, err := sniffer.Observe(truths, 0, src)
+		if err != nil {
+			return err
+		}
+		res, err := field.Step(t, o)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  round %d:\n", round)
+		for j, est := range res.Estimates {
+			fmt.Printf("    user %d: est (%5.1f,%5.1f)  true (%5.1f,%5.1f)  err %5.2f  tile %d\n",
+				j+1, est.Mean.X, est.Mean.Y, truths[j].Pos.X, truths[j].Pos.Y,
+				est.Mean.Dist(truths[j].Pos), field.Owner(j))
+		}
+		for j := range owners {
+			if now := field.Owner(j); now != owners[j] {
+				fmt.Printf("    handoff: user %d migrated tile %d -> tile %d\n", j+1, owners[j], now)
+				owners[j] = now
+			}
+		}
+	}
+	solves, _ := field.WorkTotals()
+	fmt.Printf("  total: %d rounds, %d handoffs, %d NNLS solves across %d tiles\n",
+		field.Steps(), field.Handoffs(), solves, field.NumTiles())
+	return nil
+}

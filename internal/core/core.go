@@ -33,6 +33,7 @@ import (
 	"fluxtrack/internal/network"
 	"fluxtrack/internal/obs"
 	"fluxtrack/internal/rng"
+	"fluxtrack/internal/shard"
 	"fluxtrack/internal/smc"
 	"fluxtrack/internal/traffic"
 )
@@ -306,6 +307,22 @@ type TrackerConfig struct {
 	// (see internal/fingerprint and fit.Coarse). TopK at or above N keeps
 	// every candidate and degrades to the exact search byte for byte.
 	Coarse fingerprint.CoarseConfig
+	// DBCache, when non-nil, memoizes the coarse prestage's fingerprint
+	// database builds across trackers sharing the cache (repeated trials,
+	// the tiles of a sharded field, benchmark repeats); see
+	// fingerprint.Cache. Caching never changes tracker output.
+	DBCache *fingerprint.Cache
+	// Shards splits the field into a Rows×Cols tile grid tracked by
+	// internal/shard: each tile owns its sensors, its fingerprint database,
+	// and an independent tracker, and users migrate between tiles as their
+	// estimates cross seams. The zero Grid (0×0) keeps the single unsharded
+	// tracker. Only NewStepTracker and NewShardedTracker honor it; NewTracker
+	// always builds the plain tracker.
+	Shards shard.Grid
+	// InitialPositions, when set alongside Shards (length = user count),
+	// seeds each user's owning tile from its starting position; see
+	// shard.Config.InitialPositions.
+	InitialPositions []geom.Point
 	// Workers bounds the goroutines inside one tracker round (prediction,
 	// candidate scoring, update); 0 means GOMAXPROCS, 1 forces serial.
 	// Output is identical at any value (see smc.Config.Workers).
@@ -323,7 +340,13 @@ type TrackerConfig struct {
 // NewTracker builds a Sequential Monte Carlo tracker (Algorithm 4.1) that
 // consumes this sniffer's observations.
 func (sn *Sniffer) NewTracker(numUsers int, cfg TrackerConfig, seed uint64) (*smc.Tracker, error) {
-	return smc.New(smc.Config{
+	return smc.New(sn.trackerTemplate(numUsers, cfg), seed)
+}
+
+// trackerTemplate maps a TrackerConfig onto the smc.Config both the plain
+// and the sharded constructors start from.
+func (sn *Sniffer) trackerTemplate(numUsers int, cfg TrackerConfig) smc.Config {
+	return smc.Config{
 		Model:             sn.scenario.model,
 		SamplePoints:      sn.points,
 		NumUsers:          numUsers,
@@ -336,8 +359,59 @@ func (sn *Sniffer) NewTracker(numUsers int, cfg TrackerConfig, seed uint64) (*sm
 		HeadingPrediction: cfg.HeadingPrediction,
 		StaleAttenuation:  cfg.StaleAttenuation,
 		Coarse:            cfg.Coarse,
+		DBCache:           cfg.DBCache,
 		Workers:           cfg.Workers,
 		Metrics:           cfg.Metrics,
 		Trace:             cfg.Trace,
+	}
+}
+
+// StepTracker is the round-stepping surface shared by the plain smc.Tracker
+// and the sharded shard.Field, so experiment and benchmark code threads one
+// code path for both.
+type StepTracker interface {
+	Step(t float64, measured []float64) (smc.StepResult, error)
+	StepMasked(t float64, measured []float64, present []bool, age []int) (smc.StepResult, error)
+	Steps() int
+}
+
+var (
+	_ StepTracker = (*smc.Tracker)(nil)
+	_ StepTracker = (*shard.Field)(nil)
+)
+
+// NewShardedTracker builds a tiled multi-shard tracker (internal/shard)
+// over this sniffer's vantage: cfg.Shards tiles, each owning its sensors
+// and an independent SMC tracker, coordinated with deterministic cross-tile
+// handoff. cfg.Workers bounds both the tile fan-out and each tile's inner
+// round. A 1×1 grid reproduces NewTracker's output byte for byte.
+func (sn *Sniffer) NewShardedTracker(numUsers int, cfg TrackerConfig, seed uint64) (*shard.Field, error) {
+	grid := cfg.Shards
+	if grid.Tiles() == 0 {
+		grid = shard.Grid{Rows: 1, Cols: 1}
+	}
+	tmpl := sn.trackerTemplate(numUsers, cfg)
+	tmpl.Model, tmpl.SamplePoints, tmpl.NumUsers = nil, nil, 0 // per-tile overrides
+	tmpl.DBCache = nil
+	return shard.New(shard.Config{
+		Model:            sn.scenario.model,
+		SamplePoints:     sn.points,
+		NumUsers:         numUsers,
+		Grid:             grid,
+		Tracker:          tmpl,
+		InitialPositions: cfg.InitialPositions,
+		Workers:          cfg.Workers,
+		Metrics:          cfg.Metrics,
+		Trace:            cfg.Trace,
+		Cache:            cfg.DBCache,
 	}, seed)
+}
+
+// NewStepTracker builds the tracker cfg asks for: the sharded coordinator
+// when cfg.Shards names a grid (even 1×1), the plain tracker otherwise.
+func (sn *Sniffer) NewStepTracker(numUsers int, cfg TrackerConfig, seed uint64) (StepTracker, error) {
+	if cfg.Shards.Tiles() > 0 {
+		return sn.NewShardedTracker(numUsers, cfg, seed)
+	}
+	return sn.NewTracker(numUsers, cfg, seed)
 }

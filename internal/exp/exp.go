@@ -26,6 +26,7 @@ import (
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/obs"
 	"fluxtrack/internal/rng"
+	"fluxtrack/internal/shard"
 	"fluxtrack/internal/traffic"
 )
 
@@ -106,6 +107,23 @@ type Config struct {
 	// to exact tables unless TopK >= TrackN; the figCoarse experiment
 	// quantifies the accuracy cost across shortlist sizes.
 	Coarse fingerprint.CoarseConfig
+	// Shards, when it names a grid (Tiles() > 0), runs every tracking trial
+	// through the tiled multi-shard coordinator (internal/shard) instead of
+	// the single tracker: the field splits into Rows×Cols tiles, each owning
+	// its sensors and an independent SMC tracker, and users hand off between
+	// tiles as their estimates cross seams. Each user's owning tile is seeded
+	// from its trajectory start. A 1×1 grid reproduces the unsharded tables
+	// byte for byte (pinned by TestShardOneByOneMatchesUnsharded); larger
+	// grids trade seam accuracy for per-tile work reduction, quantified by
+	// the figShard experiment. The zero Grid keeps the plain tracker.
+	Shards shard.Grid
+	// DBCache, when non-nil, memoizes coarse fingerprint-database builds
+	// across every tracker constructed by the experiments sharing it — the
+	// trials of a cell, the tiles of a sharded field — keyed by (model,
+	// bounds, sensor layout, grid resolution); see fingerprint.Cache. Caching
+	// never changes a rendered Table (databases are deterministic), it only
+	// removes redundant builds. Nil builds each database from scratch.
+	DBCache *fingerprint.Cache
 	// Metrics, when non-nil, receives work counters and latency histograms
 	// from every layer the experiments touch: the harness pool (exp.pool.*,
 	// exp.trial.wall_ms), the SMC tracker (smc.step.*), the inner NLS search

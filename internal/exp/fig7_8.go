@@ -35,11 +35,24 @@ func trackTrial(cfg Config, sc *core.Scenario, trajectories []mobility.Trajector
 	for i := range stretches {
 		stretches[i] = src.Uniform(1, 3)
 	}
-	tracker, err := sniffer.NewTracker(k, core.TrackerConfig{
+	tcfg := core.TrackerConfig{
 		N: cfg.TrackN, M: cfg.TrackM, VMax: vmax, UniformWeights: uniformWeights,
-		Search: cfg.trackerSearch(), Coarse: cfg.Coarse, Workers: cfg.Workers,
+		Search: cfg.trackerSearch(), Coarse: cfg.Coarse, DBCache: cfg.DBCache,
+		Shards: cfg.Shards, Workers: cfg.Workers,
 		Metrics: cfg.Metrics, Trace: cfg.Trace,
-	}, src.Uint64())
+	}
+	if cfg.Shards.Tiles() > 0 {
+		// Seed each user's owning tile from its trajectory start so the
+		// first rounds route observations to the right shard.
+		starts := make([]geom.Point, k)
+		for i, tr := range trajectories {
+			starts[i] = sc.Field().Clamp(tr.At(0))
+		}
+		tcfg.InitialPositions = starts
+	}
+	// NewStepTracker returns the sharded coordinator when cfg.Shards names a
+	// grid and the plain tracker otherwise; both step identically below.
+	tracker, err := sniffer.NewStepTracker(k, tcfg, src.Uint64())
 	if err != nil {
 		return nil, err
 	}

@@ -35,6 +35,7 @@ func All() []Experiment {
 		{ID: "aggregation", Run: AggregationDefense, Note: "TAG aggregation defense"},
 		{ID: "figRobust", Run: FigRobust, Note: "tracking under degraded sensing"},
 		{ID: "figCoarse", Run: FigCoarse, Note: "coarse shortlist size vs accuracy"},
+		{ID: "figShard", Run: FigShard, Note: "field sharding: seams, halos, work"},
 	}
 }
 

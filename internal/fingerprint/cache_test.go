@@ -1,0 +1,187 @@
+package fingerprint
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"fluxtrack/internal/fluxmodel"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/obs"
+)
+
+func cacheTestModel(t *testing.T) *fluxmodel.Model {
+	t.Helper()
+	m, err := fluxmodel.New(geom.Square(30), 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func cacheTestPoints() []geom.Point {
+	return []geom.Point{
+		geom.Pt(3, 4), geom.Pt(10, 20), geom.Pt(25, 7), geom.Pt(14, 14), geom.Pt(28, 28),
+	}
+}
+
+func TestCacheHitReturnsSameDB(t *testing.T) {
+	model := cacheTestModel(t)
+	pts := cacheTestPoints()
+	cfg := CoarseConfig{Enabled: true, GridRes: 6}
+	c := NewCache(0)
+	db1, err := c.Get(model, model.Field(), pts, cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := c.Get(model, model.Field(), pts, cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db1 != db2 {
+		t.Fatal("same key built twice")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+
+	// A cached database must be indistinguishable from a fresh build.
+	fresh, err := NewDBOver(model, model.Field(), pts, cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dbView(db1), dbView(fresh)) {
+		t.Fatal("cached database differs from a fresh build")
+	}
+}
+
+// dbView flattens the comparable content of a DB.
+func dbView(db *DB) any {
+	type view struct {
+		Bounds  geom.Rect
+		Res     int
+		N       int
+		Cols    []float64
+		Norms   []float64
+		Centers []geom.Point
+	}
+	return view{
+		Bounds: db.Bounds(), Res: db.Res(), N: db.NumSamples(),
+		Cols: db.cols, Norms: db.norms, Centers: db.centers,
+	}
+}
+
+func TestCacheKeyDiscrimination(t *testing.T) {
+	model := cacheTestModel(t)
+	pts := cacheTestPoints()
+	c := NewCache(0)
+	base, err := c.Get(model, model.Field(), pts, CoarseConfig{GridRes: 6}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Different grid resolution.
+	other, err := c.Get(model, model.Field(), pts, CoarseConfig{GridRes: 8}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == base {
+		t.Fatal("GridRes not in the key")
+	}
+	// Different bounds (a tile of the field).
+	tile := geom.NewRect(geom.Pt(0, 0), geom.Pt(15, 15))
+	other, err = c.Get(model, tile, pts, CoarseConfig{GridRes: 6}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == base || other.Bounds() != tile {
+		t.Fatal("bounds not in the key")
+	}
+	// Different point layout.
+	pts2 := append([]geom.Point(nil), pts...)
+	pts2[0] = geom.Pt(1, 1)
+	other, err = c.Get(model, model.Field(), pts2, CoarseConfig{GridRes: 6}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == base {
+		t.Fatal("points not in the key")
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+}
+
+func TestCacheNilReceiverBuildsDirect(t *testing.T) {
+	model := cacheTestModel(t)
+	var c *Cache
+	db1, err := c.Get(model, model.Field(), cacheTestPoints(), CoarseConfig{GridRes: 6}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := c.Get(model, model.Field(), cacheTestPoints(), CoarseConfig{GridRes: 6}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db1 == db2 {
+		t.Fatal("nil cache memoized")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache Len != 0")
+	}
+}
+
+func TestCacheCountersAndCapacity(t *testing.T) {
+	model := cacheTestModel(t)
+	pts := cacheTestPoints()
+	m := obs.New(1)
+	c := NewCache(1)
+	if _, err := c.Get(model, model.Field(), pts, CoarseConfig{GridRes: 6}, 1, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(model, model.Field(), pts, CoarseConfig{GridRes: 6}, 1, m); err != nil {
+		t.Fatal(err)
+	}
+	// Cache full: a new key still builds, uncached.
+	if _, err := c.Get(model, model.Field(), pts, CoarseConfig{GridRes: 8}, 1, m); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (capacity)", c.Len())
+	}
+	hits := m.Counter("fingerprint.cache.hits").Value()
+	misses := m.Counter("fingerprint.cache.misses").Value()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 1/2", hits, misses)
+	}
+}
+
+func TestCacheConcurrentSingleflight(t *testing.T) {
+	model := cacheTestModel(t)
+	pts := cacheTestPoints()
+	c := NewCache(0)
+	const goroutines = 8
+	dbs := make([]*DB, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			db, err := c.Get(model, model.Field(), pts, CoarseConfig{GridRes: 6}, 1, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			dbs[g] = db
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if dbs[g] != dbs[0] {
+			t.Fatal("concurrent gets returned distinct databases")
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}

@@ -86,6 +86,20 @@ type DB struct {
 // non-nil metrics registry receives the fingerprint.db.builds and
 // fingerprint.db.cells work counters.
 func NewDB(model *fluxmodel.Model, points []geom.Point, cfg CoarseConfig, workers int, m *obs.Metrics) (*DB, error) {
+	if model == nil {
+		return nil, errors.New("fingerprint: nil model")
+	}
+	return NewDBOver(model, model.Field(), points, cfg, workers, m)
+}
+
+// NewDBOver is NewDB with the cell grid laid over an explicit bounds
+// rectangle instead of the model's whole field: GridRes×GridRes cells tile
+// bounds, while the kernel itself still evaluates against the full field
+// geometry. A sharded field (internal/shard) uses this to give each tile a
+// database covering only the tile's own ground — same resolution, a quarter
+// of the cells on a 2×2 grid. Bounds must lie inside the model field and
+// have positive extent.
+func NewDBOver(model *fluxmodel.Model, bounds geom.Rect, points []geom.Point, cfg CoarseConfig, workers int, m *obs.Metrics) (*DB, error) {
 	cfg = cfg.WithDefaults()
 	if model == nil {
 		return nil, errors.New("fingerprint: nil model")
@@ -96,7 +110,13 @@ func NewDB(model *fluxmodel.Model, points []geom.Point, cfg CoarseConfig, worker
 	if cfg.GridRes > MaxGridRes {
 		return nil, fmt.Errorf("fingerprint: grid resolution %d exceeds %d", cfg.GridRes, MaxGridRes)
 	}
-	field := model.Field()
+	if bounds.Width() <= 0 || bounds.Height() <= 0 {
+		return nil, fmt.Errorf("fingerprint: degenerate bounds %v", bounds)
+	}
+	if f := model.Field(); !f.Contains(bounds.Min) || !f.Contains(bounds.Max) {
+		return nil, fmt.Errorf("fingerprint: bounds %v outside model field %v", bounds, f)
+	}
+	field := bounds
 	res := cfg.GridRes
 	cells := res * res
 	n := len(points)
@@ -153,6 +173,10 @@ func NewDB(model *fluxmodel.Model, points []geom.Point, cfg CoarseConfig, worker
 
 // Cells returns the number of grid cells (GridRes²).
 func (db *DB) Cells() int { return len(db.centers) }
+
+// Bounds returns the rectangle the cell grid tiles: the model field for a
+// NewDB database, the explicit bounds for a NewDBOver one.
+func (db *DB) Bounds() geom.Rect { return db.field }
 
 // Res returns the per-axis grid resolution.
 func (db *DB) Res() int { return db.res }

@@ -21,6 +21,18 @@ type Span struct {
 	Step int     `json:"step"`
 	Time float64 `json:"t"`
 
+	// Tile is the shard tile index when the span was emitted by a sharded
+	// field coordinator (internal/shard), and -1 for spans that are not
+	// tile-scoped (a plain tracker Step). Filtering on Tile >= 0 selects the
+	// per-tile coordinator records of a sharded run.
+	Tile int `json:"tile"`
+	// QueueNs is how long a tile's step waited between the round being
+	// handed to the shard coordinator and this tile's tracker starting,
+	// and Handoffs how many user sample sets migrated into or out of the
+	// tile at the end of the round. Both are zero on non-tile spans.
+	QueueNs  int64 `json:"queue_ns"`
+	Handoffs int   `json:"handoffs"`
+
 	Users      int    `json:"users"`       // tracked users (K)
 	Searched   int    `json:"searched"`    // users in this round's candidate search (active set)
 	Active     int    `json:"active"`      // users actually updated this round

@@ -1,0 +1,637 @@
+// Package shard scales the SMC tracker past a single field: the deployment
+// is split into an R×C grid of tiles, each tile owning its own sensor
+// subset, collection sink, fingerprint database, and smc.Tracker with a
+// deterministic splitmix64 RNG substream derived from (seed, tile index). A
+// Field coordinator steps all tiles concurrently over internal/par, routes
+// each round's flux observation to the owning tiles (plus a configurable
+// halo so users near seams are seen by both neighbors), and migrates a
+// user's SMC sample set to the neighboring tile when its estimate crosses a
+// tile boundary.
+//
+// The scaling argument is work reduction, not just parallelism: a tile
+// searches only its owned users (≈K/tiles of them) against only its own
+// sensors (≈n/tiles of them), so the per-round candidate-evaluation work —
+// kernel columns, Gram updates, NNLS solves whose cost grows with the joint
+// user count k — drops superlinearly with the tile count even on one core.
+//
+// Determinism contract (DESIGN.md §6.6): tiles step concurrently but write
+// only index-disjoint state; results merge serially in ascending tile
+// order; the handoff pass runs serially in (round, tile, user) order after
+// every tile has finished, so no tile's step observes a same-round
+// migration. Every Monte Carlo draw comes from a (tile, user) substream
+// fixed at construction. Output is therefore byte-identical at any
+// Config.Workers value, and a 1×1 grid — whose single tile keeps the
+// coordinator seed, the full sensor set in original order, and bounds equal
+// to the field — reproduces the unsharded tracker byte for byte.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"fluxtrack/internal/fingerprint"
+	"fluxtrack/internal/fluxmodel"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/obs"
+	"fluxtrack/internal/par"
+	"fluxtrack/internal/smc"
+)
+
+// Grid describes how a field is tiled: Rows×Cols tiles, each inflated by
+// Halo on every interior side when sensing. The zero value (0×0) is the
+// "unsharded" marker used by config plumbing; a usable grid has Rows and
+// Cols at least 1 and a non-negative finite Halo.
+type Grid struct {
+	Rows, Cols int
+	// Halo inflates each tile's sensing/hypothesis bounds (not its owned
+	// ground) by this distance on every side, clipped to the field: sensors
+	// within the halo of a seam report to both neighbors, and a tile may
+	// hypothesize positions slightly past its seam, which softens the
+	// accuracy penalty for users walking the seam at the cost of
+	// proportionally more sensors per tile.
+	Halo float64
+}
+
+// Tiles returns Rows×Cols, or 0 when either dimension is unset — the
+// unsharded marker.
+func (g Grid) Tiles() int {
+	if g.Rows <= 0 || g.Cols <= 0 {
+		return 0
+	}
+	return g.Rows * g.Cols
+}
+
+// String formats the grid as "RxC".
+func (g Grid) String() string {
+	return fmt.Sprintf("%dx%d", g.Rows, g.Cols)
+}
+
+// ParseGrid parses "RxC" (e.g. "2x2", "1x4") into a Grid with zero halo.
+func ParseGrid(s string) (Grid, error) {
+	lo, hi, ok := strings.Cut(strings.TrimSpace(s), "x")
+	if !ok {
+		return Grid{}, fmt.Errorf("shard: grid %q is not RxC", s)
+	}
+	r, err1 := strconv.Atoi(lo)
+	c, err2 := strconv.Atoi(hi)
+	if err1 != nil || err2 != nil || r < 1 || c < 1 {
+		return Grid{}, fmt.Errorf("shard: grid %q is not RxC with positive dimensions", s)
+	}
+	return Grid{Rows: r, Cols: c}, nil
+}
+
+// TileOf maps a position to the tile owning it under the plain (halo-free)
+// rect partition of field. The mapping is a pure function: positions
+// exactly on an interior seam belong to the tile on the seam's upper/right
+// side, positions on the field's outer max edges clamp into the last
+// row/column, and corner points — equidistant from four tiles — resolve by
+// the same two rules. Out-of-field positions clamp to the nearest tile.
+func (g Grid) TileOf(field geom.Rect, p geom.Point) int {
+	ix := tileCoord(p.X, field.Min.X, field.Width(), g.Cols)
+	iy := tileCoord(p.Y, field.Min.Y, field.Height(), g.Rows)
+	return iy*g.Cols + ix
+}
+
+func tileCoord(v, lo, extent float64, n int) int {
+	i := int(math.Floor((v - lo) / extent * float64(n)))
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// tileSeed derives tile i's RNG substream seed with the same splitmix64
+// finalizer the tracker uses for per-user substreams, so neighboring tiles
+// land in independent stream regions. The degenerate single-tile grid IS
+// the unsharded tracker, so it keeps the coordinator seed unchanged — that
+// passthrough is one link in the 1×1 byte-identity chain.
+func tileSeed(seed uint64, i, tiles int) uint64 {
+	if tiles == 1 {
+		return seed
+	}
+	z := seed + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Config configures a sharded tracking Field.
+type Config struct {
+	Model        *fluxmodel.Model
+	SamplePoints []geom.Point // global sniffed-node positions
+	NumUsers     int          // K: users tracked across the whole field
+	Grid         Grid
+
+	// Tracker is the per-tile tracker template: N, M, VMax, Search, Coarse,
+	// and the rest are copied into every tile's smc.Config. New overrides
+	// Model, SamplePoints, NumUsers, Bounds, and DBCache per tile, rejects a
+	// template with Search.Coarse preset (tiles must not share one
+	// misaligned database), and fills the template's Metrics/Trace from the
+	// Field's when unset. The template's Workers bounds goroutines inside
+	// one tile's step; Config.Workers bounds how many tiles step at once.
+	Tracker smc.Config
+
+	// InitialPositions, when non-nil (length NumUsers), seeds each user's
+	// owning tile from their starting position; nil assigns users to tiles
+	// round-robin and lets bootstrap plus handoff sort them out.
+	InitialPositions []geom.Point
+
+	// Workers bounds how many tiles step concurrently (0 = GOMAXPROCS,
+	// 1 = serial). Output is byte-identical at any value.
+	Workers int
+
+	// Metrics receives the coordinator's shard.* counters/histograms and is
+	// inherited by tile trackers whose template Metrics is unset; Trace
+	// receives one tile-scoped span (Span.Tile >= 0) per stepped tile per
+	// round alongside the tile trackers' own spans. Both are write-only.
+	Metrics *obs.Metrics
+	Trace   *obs.Trace
+
+	// Cache memoizes fingerprint database builds across tiles (and across
+	// Fields sharing the cache). Nil creates a private cache when the
+	// template enables the coarse prestage.
+	Cache *fingerprint.Cache
+}
+
+// tile is one shard: its ground, sensors, and tracker, plus the per-round
+// scratch the coordinator reuses.
+type tile struct {
+	index   int
+	rect    geom.Rect // owned ground (plain partition)
+	bounds  geom.Rect // rect + halo, clipped to the field
+	sensors []int     // ascending global sensor indices within bounds
+	sink    int       // global index of the tile's collection sensor
+	seed    uint64
+	tracker *smc.Tracker
+
+	owned    []int // users owned this round, ascending
+	readings []float64
+	present  []bool
+	age      []int
+
+	// Per-round results, written by this tile's worker only.
+	res     smc.StepResult
+	err     error
+	stepped bool
+	queueNs int64
+	wallNs  int64
+}
+
+// TileInfo is the read-only description of one tile.
+type TileInfo struct {
+	Index   int
+	Rect    geom.Rect // owned ground
+	Bounds  geom.Rect // halo-inflated sensing/hypothesis ground
+	Sensors int       // sensors reporting to this tile
+	Sink    int       // global sensor index of the tile's collection point
+	Seed    uint64    // the tile's RNG substream seed
+}
+
+// fieldMetrics caches the coordinator's observability handles.
+type fieldMetrics struct {
+	m            *obs.Metrics
+	shard        int
+	steps        *obs.Counter   // shard.step.count
+	handoffs     *obs.Counter   // shard.step.handoffs
+	tilesStepped *obs.Counter   // shard.step.tiles_stepped
+	queue        *obs.Histogram // shard.tile.queue_ms
+	wall         *obs.Histogram // shard.tile.step_ms
+}
+
+func (fm *fieldMetrics) bind(m *obs.Metrics, seed uint64) {
+	if m == nil {
+		return
+	}
+	*fm = fieldMetrics{
+		m:            m,
+		shard:        int(seed),
+		steps:        m.Counter("shard.step.count"),
+		handoffs:     m.Counter("shard.step.handoffs"),
+		tilesStepped: m.Counter("shard.step.tiles_stepped"),
+		queue:        m.Histogram("shard.tile.queue_ms", obs.DurationBucketsMs),
+		wall:         m.Histogram("shard.tile.step_ms", obs.DurationBucketsMs),
+	}
+}
+
+// Field coordinates the tiles of a sharded deployment. Like smc.Tracker it
+// is not safe for concurrent use by multiple goroutines, but each round
+// fans the tiles out over Config.Workers internally.
+type Field struct {
+	cfg      Config
+	field    geom.Rect
+	tiles    []*tile
+	owner    []int // user -> owning tile
+	lastEst  []smc.Estimate
+	steps    int
+	handoffs int
+	met      fieldMetrics
+
+	handIn  []int // per-tile migrations in, reused across rounds
+	handOut []int // per-tile migrations out
+}
+
+// New builds a sharded Field over cfg's deployment; seed fixes every tile's
+// (and thereby every user's) RNG substream.
+func New(cfg Config, seed uint64) (*Field, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("shard: nil model")
+	}
+	if len(cfg.SamplePoints) == 0 {
+		return nil, errors.New("shard: no sampling points")
+	}
+	if cfg.NumUsers <= 0 {
+		return nil, fmt.Errorf("shard: NumUsers must be positive, got %d", cfg.NumUsers)
+	}
+	tiles := cfg.Grid.Tiles()
+	if tiles < 1 {
+		return nil, fmt.Errorf("shard: grid %s has no tiles", cfg.Grid)
+	}
+	if cfg.Grid.Halo < 0 || math.IsNaN(cfg.Grid.Halo) || math.IsInf(cfg.Grid.Halo, 0) {
+		return nil, fmt.Errorf("shard: halo %v must be finite and non-negative", cfg.Grid.Halo)
+	}
+	if cfg.Tracker.Search.Coarse != nil {
+		return nil, errors.New("shard: tracker template must not preset Search.Coarse; tiles build their own databases")
+	}
+	if cfg.InitialPositions != nil && len(cfg.InitialPositions) != cfg.NumUsers {
+		return nil, fmt.Errorf("shard: %d initial positions for %d users", len(cfg.InitialPositions), cfg.NumUsers)
+	}
+	cache := cfg.Cache
+	if cache == nil && cfg.Tracker.Coarse.Enabled {
+		cache = fingerprint.NewCache(0)
+	}
+
+	field := cfg.Model.Field()
+	f := &Field{
+		cfg:     cfg,
+		field:   field,
+		tiles:   make([]*tile, tiles),
+		owner:   make([]int, cfg.NumUsers),
+		lastEst: make([]smc.Estimate, cfg.NumUsers),
+		handIn:  make([]int, tiles),
+		handOut: make([]int, tiles),
+	}
+	for i := range f.tiles {
+		tl, err := f.newTile(i, cache, seed)
+		if err != nil {
+			return nil, err
+		}
+		f.tiles[i] = tl
+	}
+	for j := range f.owner {
+		if cfg.InitialPositions != nil {
+			f.owner[j] = cfg.Grid.TileOf(field, cfg.InitialPositions[j])
+		} else {
+			f.owner[j] = j % tiles
+		}
+		// Until a user's tile first steps, report what its tracker would:
+		// the tile bounds center with zero confidence.
+		c := f.tiles[f.owner[j]].bounds.Center()
+		f.lastEst[j] = smc.Estimate{Mean: c, Best: c}
+	}
+	f.met.bind(cfg.Metrics, seed)
+	return f, nil
+}
+
+// newTile carves tile i out of the field and builds its tracker.
+func (f *Field) newTile(i int, cache *fingerprint.Cache, seed uint64) (*tile, error) {
+	g := f.cfg.Grid
+	r, c := i/g.Cols, i%g.Cols
+	rect := geom.Rect{
+		Min: geom.Pt(tileEdge(f.field.Min.X, f.field.Max.X, c, g.Cols),
+			tileEdge(f.field.Min.Y, f.field.Max.Y, r, g.Rows)),
+		Max: geom.Pt(tileEdge(f.field.Min.X, f.field.Max.X, c+1, g.Cols),
+			tileEdge(f.field.Min.Y, f.field.Max.Y, r+1, g.Rows)),
+	}
+	bounds := geom.Rect{
+		Min: geom.Pt(math.Max(rect.Min.X-g.Halo, f.field.Min.X),
+			math.Max(rect.Min.Y-g.Halo, f.field.Min.Y)),
+		Max: geom.Pt(math.Min(rect.Max.X+g.Halo, f.field.Max.X),
+			math.Min(rect.Max.Y+g.Halo, f.field.Max.Y)),
+	}
+	tl := &tile{index: i, rect: rect, bounds: bounds, seed: tileSeed(seed, i, g.Tiles())}
+	var points []geom.Point
+	for si, p := range f.cfg.SamplePoints {
+		if bounds.Contains(p) {
+			tl.sensors = append(tl.sensors, si)
+			points = append(points, p)
+		}
+	}
+	if len(tl.sensors) == 0 {
+		return nil, fmt.Errorf("shard: tile %d (%v) covers no sensors; use fewer tiles, a wider halo, or a denser vantage", i, bounds)
+	}
+	// The tile's sink: the covered sensor nearest the tile center, ties to
+	// the lower global index — the deterministic collection point per-tile
+	// routing would drain to.
+	center := rect.Center()
+	bestD := math.Inf(1)
+	for k, si := range tl.sensors {
+		if d := points[k].Sub(center).Norm(); d < bestD {
+			bestD, tl.sink = d, si
+		}
+	}
+
+	tcfg := f.cfg.Tracker
+	tcfg.Model = f.cfg.Model
+	tcfg.SamplePoints = points
+	tcfg.NumUsers = f.cfg.NumUsers
+	tcfg.Bounds = bounds
+	tcfg.DBCache = cache
+	if tcfg.Metrics == nil {
+		tcfg.Metrics = f.cfg.Metrics
+	}
+	if tcfg.Trace == nil {
+		tcfg.Trace = f.cfg.Trace
+	}
+	tr, err := smc.New(tcfg, tl.seed)
+	if err != nil {
+		return nil, fmt.Errorf("shard: tile %d tracker: %w", i, err)
+	}
+	tl.tracker = tr
+	tl.readings = make([]float64, len(tl.sensors))
+	return tl, nil
+}
+
+// tileEdge returns the x (or y) coordinate of grid line k of n, pinning the
+// outer lines to the exact field edges so the partition tiles the field
+// without floating-point slack.
+func tileEdge(lo, hi float64, k, n int) float64 {
+	switch k {
+	case 0:
+		return lo
+	case n:
+		return hi
+	}
+	return lo + (hi-lo)*float64(k)/float64(n)
+}
+
+// NumTiles returns the tile count.
+func (f *Field) NumTiles() int { return len(f.tiles) }
+
+// Tile describes tile i.
+func (f *Field) Tile(i int) TileInfo {
+	tl := f.tiles[i]
+	return TileInfo{
+		Index: tl.index, Rect: tl.rect, Bounds: tl.bounds,
+		Sensors: len(tl.sensors), Sink: tl.sink, Seed: tl.seed,
+	}
+}
+
+// Owner returns the tile currently owning user j.
+func (f *Field) Owner(j int) int { return f.owner[j] }
+
+// Steps returns how many observation rounds advanced at least one tile.
+func (f *Field) Steps() int { return f.steps }
+
+// Handoffs returns the cumulative number of cross-tile user migrations — a
+// deterministic count, identical at any worker count.
+func (f *Field) Handoffs() int { return f.handoffs }
+
+// WorkTotals sums the cumulative NNLS (solves, iterations) over all tile
+// trackers: the deterministic work measure behind the sharding speedup.
+func (f *Field) WorkTotals() (solves, iters uint64) {
+	for _, tl := range f.tiles {
+		s, it := tl.tracker.WorkTotals()
+		solves += s
+		iters += it
+	}
+	return solves, iters
+}
+
+// Step routes the global flux observation taken at time t (aligned with
+// Config.SamplePoints) to the tiles, steps them concurrently, and merges
+// the per-tile results; see StepMasked for the degraded-observation form.
+func (f *Field) Step(t float64, measured []float64) (smc.StepResult, error) {
+	return f.StepMasked(t, measured, nil, nil)
+}
+
+// StepMasked is Step over a degraded observation (present/age as in
+// smc.Tracker.StepMasked, aligned with the global sample points). Each tile
+// sees only its own sensors' slice of the round: a tile whose delivered
+// sensor set is empty skips the round — its users keep their previous
+// estimates, reported with Active false — while the remaining tiles step
+// normally. Only when every owning tile skips does StepMasked return
+// ErrAllMasked (wrapped) with the Field untouched, matching the unsharded
+// contract. After the merge, the handoff pass migrates every initialized
+// user whose new estimate left its tile's ground, in ascending (tile, user)
+// order.
+func (f *Field) StepMasked(t float64, measured []float64, present []bool, age []int) (smc.StepResult, error) {
+	n := len(f.cfg.SamplePoints)
+	if len(measured) != n {
+		return smc.StepResult{}, fmt.Errorf("shard: observation length %d, want %d", len(measured), n)
+	}
+	if present != nil && len(present) != n {
+		return smc.StepResult{}, fmt.Errorf("shard: present mask length %d, want %d", len(present), n)
+	}
+	if age != nil && len(age) != n {
+		return smc.StepResult{}, fmt.Errorf("shard: age vector length %d, want %d", len(age), n)
+	}
+	observed := f.met.m != nil || f.cfg.Trace != nil
+	var roundStart time.Time
+	if observed {
+		roundStart = time.Now()
+	}
+
+	for _, tl := range f.tiles {
+		tl.owned = tl.owned[:0]
+		tl.stepped = false
+		tl.err = nil
+	}
+	for j, o := range f.owner { // ascending j: owned lists stay sorted
+		f.tiles[o].owned = append(f.tiles[o].owned, j)
+	}
+
+	// Fan the tiles out. Each worker touches only its tile's state, so the
+	// round is race-free by construction; determinism comes from the serial
+	// merge below, not from scheduling.
+	_ = par.For(len(f.tiles), f.cfg.Workers, func(_, i int) error {
+		tl := f.tiles[i]
+		if len(tl.owned) == 0 {
+			return nil
+		}
+		var t0 time.Time
+		if observed {
+			tl.queueNs = time.Since(roundStart).Nanoseconds()
+			t0 = time.Now()
+		}
+		m, p, a, users := tl.gather(measured, present, age)
+		res, err := tl.tracker.StepUsersMasked(t, m, p, a, users)
+		if observed {
+			tl.wallNs = time.Since(t0).Nanoseconds()
+		}
+		if err != nil {
+			tl.err = err
+			return nil
+		}
+		tl.res = res
+		tl.stepped = true
+		return nil
+	})
+
+	// Error scan before any state merges, in ascending tile order: the
+	// first hard error (by tile index) rejects the round with the Field
+	// untouched; all-masked tiles merely degrade. A round where every
+	// owning tile was all-masked returns the lowest tile's error verbatim —
+	// for a 1×1 grid that IS the unsharded error.
+	var maskErr error
+	anyStepped := false
+	for _, tl := range f.tiles {
+		switch {
+		case tl.err == nil:
+			anyStepped = anyStepped || tl.stepped
+		case errors.Is(tl.err, smc.ErrAllMasked):
+			if maskErr == nil {
+				maskErr = tl.err
+			}
+		default:
+			return smc.StepResult{}, fmt.Errorf("shard: tile %d: %w", tl.index, tl.err)
+		}
+	}
+	if !anyStepped {
+		if maskErr != nil {
+			return smc.StepResult{}, maskErr
+		}
+		return smc.StepResult{}, errors.New("shard: no tile stepped")
+	}
+
+	// Serial merge in ascending tile order.
+	out := smc.StepResult{Time: t, Estimates: make([]smc.Estimate, f.cfg.NumUsers)}
+	for _, tl := range f.tiles {
+		if !tl.stepped {
+			continue
+		}
+		out.Objective += tl.res.Objective
+		for _, j := range tl.owned {
+			f.lastEst[j] = tl.res.Estimates[j]
+		}
+	}
+	for j := range out.Estimates {
+		e := f.lastEst[j]
+		if !f.tiles[f.owner[j]].stepped {
+			// Carried forward from a skipped tile: stale, not active.
+			e.Active = false
+			e.Stretch = 0
+		}
+		out.Estimates[j] = e
+	}
+	f.steps++
+
+	// Handoff pass: serial, ascending (tile, user). A user migrates when
+	// initialized (its estimate is evidence-backed) and its posterior mean
+	// left the owning tile's ground; the sample set moves wholesale and the
+	// source slot resets. Running after the barrier means no tile's step
+	// this round saw a migration decided this round.
+	migrations := 0
+	for i := range f.handIn {
+		f.handIn[i], f.handOut[i] = 0, 0
+	}
+	for _, tl := range f.tiles {
+		if !tl.stepped {
+			continue
+		}
+		for _, j := range tl.owned {
+			est := tl.res.Estimates[j]
+			if len(est.Samples) == 0 { // uninitialized: nothing to move
+				continue
+			}
+			dst := f.cfg.Grid.TileOf(f.field, est.Mean)
+			if dst == tl.index {
+				continue
+			}
+			snap, err := tl.tracker.ExportUser(j)
+			if err == nil {
+				err = f.tiles[dst].tracker.ImportUser(j, snap)
+			}
+			if err == nil {
+				err = tl.tracker.ResetUser(j)
+			}
+			if err != nil {
+				return smc.StepResult{}, fmt.Errorf("shard: handoff of user %d, tile %d->%d: %w", j, tl.index, dst, err)
+			}
+			f.owner[j] = dst
+			f.handOut[tl.index]++
+			f.handIn[dst]++
+			migrations++
+		}
+	}
+	f.handoffs += migrations
+
+	if observed {
+		f.record(t, migrations)
+	}
+	return out, nil
+}
+
+// gather copies the tile's slice of the global observation into the tile's
+// reusable buffers, returning nil masks when the round carries none.
+func (tl *tile) gather(measured []float64, present []bool, age []int) (m []float64, p []bool, a []int, users []int) {
+	for k, si := range tl.sensors {
+		tl.readings[k] = measured[si]
+	}
+	if present != nil {
+		if tl.present == nil {
+			tl.present = make([]bool, len(tl.sensors))
+		}
+		for k, si := range tl.sensors {
+			tl.present[k] = present[si]
+		}
+		p = tl.present
+	}
+	if age != nil {
+		if tl.age == nil {
+			tl.age = make([]int, len(tl.sensors))
+		}
+		for k, si := range tl.sensors {
+			tl.age[k] = age[si]
+		}
+		a = tl.age
+	}
+	return tl.readings, p, a, tl.owned
+}
+
+// record flushes the round's coordinator observability: shard.* counters,
+// queue/step histograms, and one tile-scoped span per stepped tile. All
+// counters are deterministic; only the histograms and span timings are
+// wall-clock.
+func (f *Field) record(t float64, migrations int) {
+	stepped := 0
+	for _, tl := range f.tiles {
+		if tl.stepped {
+			stepped++
+		}
+	}
+	if fm := &f.met; fm.m != nil {
+		w := fm.shard
+		fm.steps.Inc(w)
+		fm.handoffs.Add(w, uint64(migrations))
+		fm.tilesStepped.Add(w, uint64(stepped))
+		for _, tl := range f.tiles {
+			if tl.stepped {
+				fm.queue.Observe(w, float64(tl.queueNs)/1e6)
+				fm.wall.Observe(w, float64(tl.wallNs)/1e6)
+			}
+		}
+	}
+	if f.cfg.Trace != nil {
+		for _, tl := range f.tiles {
+			if !tl.stepped {
+				continue
+			}
+			f.cfg.Trace.Add(obs.Span{
+				Seed: tl.seed, Step: f.steps - 1, Time: t, Tile: tl.index,
+				Users:     len(tl.owned),
+				Searched:  len(tl.owned),
+				Objective: tl.res.Objective,
+				QueueNs:   tl.queueNs,
+				WallNs:    tl.wallNs,
+				Handoffs:  f.handIn[tl.index] + f.handOut[tl.index],
+			})
+		}
+	}
+}

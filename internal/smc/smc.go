@@ -31,6 +31,17 @@ type Config struct {
 	SamplePoints []geom.Point // positions of the sniffed nodes (fixed)
 	NumUsers     int          // K: number of mobile users to track
 
+	// Bounds restricts where the tracker believes its users can be: the
+	// uniform bootstrap draws of an uninitialized user, the clamping of
+	// prediction discs, the field-center fallback estimate, and the
+	// fingerprint grid of the coarse prestage all use Bounds instead of the
+	// model's full field. The zero rectangle means the model field — the
+	// paper's single-field tracker — which keeps existing output
+	// byte-identical. A sharded field (internal/shard) sets Bounds to each
+	// tile's halo-inflated rectangle so a tile only hypothesizes positions
+	// on its own ground.
+	Bounds geom.Rect
+
 	// N is the number of predicted samples per user per round (paper: 1000).
 	N int
 	// M is the number of kept representatives per user (paper: 10).
@@ -53,6 +64,13 @@ type Config struct {
 	// the exact search with byte-identical output. Ignored when
 	// Search.Coarse is already set explicitly.
 	Coarse fingerprint.CoarseConfig
+	// DBCache, when non-nil, memoizes the fingerprint database build of the
+	// coarse prestage: trackers sharing a cache and asking for the same
+	// (model, bounds, sample layout, grid resolution) share one immutable
+	// database instead of each paying the build (see fingerprint.Cache). A
+	// database is a pure function of that key, so caching never changes
+	// tracker output. Nil builds directly, as before.
+	DBCache *fingerprint.Cache
 	// UseRelativeWeights applies fit.RelativeWeights to each observation.
 	UseRelativeWeights bool
 	// UniformWeights disables the importance weighting of §4.D: kept
@@ -279,6 +297,9 @@ func New(cfg Config, seed uint64) (*Tracker, error) {
 	if cfg.M > cfg.N {
 		return nil, fmt.Errorf("smc: M (%d) must not exceed N (%d)", cfg.M, cfg.N)
 	}
+	if cfg.Bounds.Width() <= 0 || cfg.Bounds.Height() <= 0 {
+		cfg.Bounds = cfg.Model.Field()
+	}
 	tr := &Tracker{
 		cfg:      cfg,
 		users:    make([]userState, cfg.NumUsers),
@@ -288,8 +309,10 @@ func New(cfg Config, seed uint64) (*Tracker, error) {
 	if cfg.Coarse.Enabled && tr.cfg.Search.Coarse == nil {
 		// Precompute the fingerprint database once for the tracker's
 		// lifetime: the sample layout is fixed, so every round's search
-		// shares the same grid signatures.
-		db, err := fingerprint.NewDB(cfg.Model, cfg.SamplePoints, cfg.Coarse, cfg.Workers, cfg.Metrics)
+		// shares the same grid signatures. The grid covers Bounds — the
+		// whole field for a plain tracker, the tile for a sharded one — and
+		// a shared DBCache turns repeated builds over the same key into one.
+		db, err := cfg.DBCache.Get(cfg.Model, cfg.Bounds, cfg.SamplePoints, cfg.Coarse, cfg.Workers, cfg.Metrics)
 		if err != nil {
 			return nil, fmt.Errorf("smc: fingerprint database: %w", err)
 		}
@@ -321,7 +344,25 @@ var ErrAllMasked = errors.New("smc: observation entirely masked")
 // cfg.SamplePoints) and returns the per-user estimates. Observation times
 // must be strictly increasing.
 func (tr *Tracker) Step(t float64, measured []float64) (StepResult, error) {
-	return tr.StepMasked(t, measured, nil, nil)
+	return tr.step(t, measured, nil, nil, nil)
+}
+
+// StepUsers is Step restricted to an explicit user subset: only the listed
+// users join the candidate search and are updated; everyone else keeps
+// their state and reports an idle estimate, exactly as an active-set round
+// treats unselected users. The subset must be strictly ascending and within
+// range. A subset naming every user is identical to Step — including the
+// ActiveSetLimit selection, which only an explicit partial subset bypasses
+// (the caller has already decided who is searched). A sharded field uses
+// this to step one tile's owned users against the tile's observation.
+func (tr *Tracker) StepUsers(t float64, measured []float64, users []int) (StepResult, error) {
+	return tr.step(t, measured, nil, nil, users)
+}
+
+// StepUsersMasked is StepMasked restricted to an explicit user subset; see
+// StepUsers for the subset contract.
+func (tr *Tracker) StepUsersMasked(t float64, measured []float64, present []bool, age []int, users []int) (StepResult, error) {
+	return tr.step(t, measured, present, age, users)
 }
 
 // StepMasked is Step over a degraded observation: present marks which
@@ -336,12 +377,40 @@ func (tr *Tracker) Step(t float64, measured []float64) (StepResult, error) {
 // untouched; a delivered non-finite reading is rejected the same way a
 // malformed observation length is.
 func (tr *Tracker) StepMasked(t float64, measured []float64, present []bool, age []int) (StepResult, error) {
+	return tr.step(t, measured, present, age, nil)
+}
+
+// step is the single round implementation behind Step, StepMasked,
+// StepUsers, and StepUsersMasked. users nil (or naming every user) runs the
+// full round with active-set selection; an explicit partial subset is taken
+// verbatim. The tracker borrows the users slice only for the duration of
+// the call.
+func (tr *Tracker) step(t float64, measured []float64, present []bool, age []int, users []int) (StepResult, error) {
 	// Observation is write-only: the span and counters below never feed
 	// back into the round, so enabling them cannot perturb tracker output.
 	observed := tr.met.m != nil || tr.cfg.Trace != nil
 	var t0 time.Time
 	if observed {
 		t0 = time.Now()
+	}
+	if users != nil {
+		prev := -1
+		for _, j := range users {
+			if j <= prev || j >= tr.cfg.NumUsers {
+				return StepResult{}, fmt.Errorf("smc: user subset %v is not strictly ascending within [0,%d)",
+					users, tr.cfg.NumUsers)
+			}
+			prev = j
+		}
+		if len(users) == 0 {
+			return StepResult{}, errors.New("smc: empty user subset")
+		}
+		if len(users) == tr.cfg.NumUsers {
+			// Strictly ascending and in range with NumUsers entries is the
+			// identity: take the full-round path, active-set selection
+			// included, so a total subset is byte-identical to Step.
+			users = nil
+		}
 	}
 	n := len(tr.cfg.SamplePoints)
 	if len(measured) != n {
@@ -394,7 +463,7 @@ func (tr *Tracker) StepMasked(t float64, measured []float64, present []bool, age
 	var solves0, iters0 uint64
 	if observed {
 		span = obs.Span{
-			Seed: tr.seed, Step: tr.steps, Time: t,
+			Seed: tr.seed, Step: tr.steps, Time: t, Tile: -1,
 			Users:         tr.cfg.NumUsers,
 			MaskedSensors: n - delivered,
 			StaleSensors:  staleCount,
@@ -427,14 +496,17 @@ func (tr *Tracker) StepMasked(t float64, measured []float64, present []bool, age
 		return StepResult{}, err
 	}
 
-	subset := make([]int, tr.cfg.NumUsers)
-	for j := range subset {
-		subset[j] = j
-	}
-	if tr.cfg.ActiveSetLimit > 0 && tr.cfg.NumUsers > tr.cfg.ActiveSetLimit {
-		subset, err = tr.selectActive(prob, t)
-		if err != nil {
-			return StepResult{}, err
+	subset := users
+	if subset == nil {
+		subset = make([]int, tr.cfg.NumUsers)
+		for j := range subset {
+			subset[j] = j
+		}
+		if tr.cfg.ActiveSetLimit > 0 && tr.cfg.NumUsers > tr.cfg.ActiveSetLimit {
+			subset, err = tr.selectActive(prob, t)
+			if err != nil {
+				return StepResult{}, err
+			}
 		}
 	}
 	out, err := tr.stepSubset(prob, t, subset, spanPtr)
@@ -689,10 +761,11 @@ func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int, span *
 // predictInto draws the N candidate positions for user j at time t into the
 // provided buffers, per Eq 4.2: uniform in the disc of radius VMax·Δt around
 // an origin sample chosen by importance weight. Uninitialized users draw
-// uniformly over the field. All randomness comes from user j's substream.
+// uniformly over the tracker bounds (the field, unless Config.Bounds
+// narrows it). All randomness comes from user j's substream.
 func (tr *Tracker) predictInto(j int, t float64, cands []geom.Point, origins []int) {
 	u := &tr.users[j]
-	field := tr.cfg.Model.Field()
+	field := tr.cfg.Bounds
 	if !u.initialized {
 		for i := range cands {
 			cands[i] = u.src.InRect(field)
@@ -782,8 +855,8 @@ func (tr *Tracker) estimate(j int, active bool, stretch float64) Estimate {
 	u := &tr.users[j]
 	est := Estimate{Active: active, Stretch: stretch}
 	if !u.initialized {
-		// Never updated: report the field center with zero confidence.
-		est.Mean = tr.cfg.Model.Field().Center()
+		// Never updated: report the bounds center with zero confidence.
+		est.Mean = tr.cfg.Bounds.Center()
 		est.Best = est.Mean
 		return est
 	}
@@ -797,4 +870,91 @@ func (tr *Tracker) estimate(j int, active bool, stretch float64) Estimate {
 	est.Mean = geom.Pt(x, y)
 	est.Best = u.samples[0] // ranked ascending by objective at update time
 	return est
+}
+
+// UserSnapshot is a self-contained copy of one user's SMC state — the
+// weighted sample set plus the asynchronous-update bookkeeping — portable
+// between trackers. A sharded field (internal/shard) moves a user between
+// neighboring tiles by exporting the snapshot from one tracker and
+// importing it into another; the RNG substream is deliberately NOT part of
+// the snapshot (it belongs to the (tracker, slot) pair, so each tile keeps
+// drawing from its own deterministic stream regardless of migration
+// history).
+type UserSnapshot struct {
+	Samples     []geom.Point
+	Weights     []float64
+	LastUpdate  float64
+	Initialized bool
+	Velocity    geom.Vec
+	HasVelocity bool
+	PrevMean    geom.Point
+	HasPrevMean bool
+}
+
+// ExportUser returns a deep copy of user j's current state. Exporting an
+// uninitialized user yields a snapshot with Initialized false.
+func (tr *Tracker) ExportUser(j int) (UserSnapshot, error) {
+	if j < 0 || j >= tr.cfg.NumUsers {
+		return UserSnapshot{}, fmt.Errorf("smc: export user %d outside [0,%d)", j, tr.cfg.NumUsers)
+	}
+	u := &tr.users[j]
+	return UserSnapshot{
+		Samples:     append([]geom.Point(nil), u.samples...),
+		Weights:     append([]float64(nil), u.weights...),
+		LastUpdate:  u.lastUpdate,
+		Initialized: u.initialized,
+		Velocity:    u.velocity,
+		HasVelocity: u.hasVelocity,
+		PrevMean:    u.prevMean,
+		HasPrevMean: u.hasPrevMean,
+	}, nil
+}
+
+// ImportUser replaces user j's state with a deep copy of the snapshot. An
+// initialized snapshot must carry a non-empty sample set with aligned
+// weights; samples are taken verbatim (the next prediction phase clamps its
+// draws to the tracker bounds, so samples just outside a tile's ground —
+// the normal case right after a seam crossing — resolve naturally).
+func (tr *Tracker) ImportUser(j int, s UserSnapshot) error {
+	if j < 0 || j >= tr.cfg.NumUsers {
+		return fmt.Errorf("smc: import user %d outside [0,%d)", j, tr.cfg.NumUsers)
+	}
+	if s.Initialized {
+		if len(s.Samples) == 0 {
+			return errors.New("smc: initialized snapshot with no samples")
+		}
+		if len(s.Samples) != len(s.Weights) {
+			return fmt.Errorf("smc: snapshot has %d samples but %d weights", len(s.Samples), len(s.Weights))
+		}
+	}
+	u := &tr.users[j]
+	u.samples = append([]geom.Point(nil), s.Samples...)
+	u.weights = append([]float64(nil), s.Weights...)
+	u.lastUpdate = s.LastUpdate
+	u.initialized = s.Initialized
+	u.velocity = s.Velocity
+	u.hasVelocity = s.HasVelocity
+	u.prevMean = s.PrevMean
+	u.hasPrevMean = s.HasPrevMean
+	return nil
+}
+
+// ResetUser clears user j back to the uninitialized bootstrap state (the
+// source side of a migration). The slot keeps its RNG substream: a user
+// migrating back later resumes the same deterministic stream, advanced by
+// exactly the draws the slot has made.
+func (tr *Tracker) ResetUser(j int) error {
+	if j < 0 || j >= tr.cfg.NumUsers {
+		return fmt.Errorf("smc: reset user %d outside [0,%d)", j, tr.cfg.NumUsers)
+	}
+	src := tr.users[j].src
+	tr.users[j] = userState{src: src}
+	return nil
+}
+
+// WorkTotals reports the cumulative NNLS effort of the tracker's searcher —
+// (solves, iterations) since construction. Both are deterministic work
+// counts, identical at any worker count.
+func (tr *Tracker) WorkTotals() (solves, iters uint64) {
+	return tr.searcher.WorkTotals()
 }
