@@ -44,6 +44,9 @@ type latencyReport struct {
 
 type latencyEntry struct {
 	Shards  string  `json:"shards"`
+	Rows    int     `json:"grid_rows"`
+	Cols    int     `json:"grid_cols"`
+	Tiles   int     `json:"tiles"`
 	Workers int     `json:"workers"`
 	Steps   int     `json:"steps"`
 	P50ms   float64 `json:"p50_ms"`
@@ -54,6 +57,10 @@ type latencyEntry struct {
 	// UsersPerSec is tracked users divided by the mean step time — the
 	// throughput figure the shard sweep (fluxbench shardbench) reports.
 	UsersPerSec float64 `json:"users_per_sec"`
+	// ImbalanceMax/ImbalanceMean report the final round's tile-load shape:
+	// the largest per-tile owned-user count against the users/tiles ideal.
+	ImbalanceMax  int     `json:"imbalance_max"`
+	ImbalanceMean float64 `json:"imbalance_mean"`
 	// PerShard breaks the step down by tile: how long each tile's
 	// observations queued before its step ran (dispatch to tile-step start)
 	// and how long the tile's own step took.
@@ -175,6 +182,8 @@ func runLatency(args []string) error {
 			trace := obs.NewTrace(spanCap + 16)
 			durations := make([]float64, 0, *rounds**repeats)
 			var last geom.Point
+			var imbMax int
+			var imbMean float64
 			start := time.Now()
 			for rep := 0; rep < *repeats; rep++ {
 				field, err := sniffer.NewShardedTracker(*users, core.TrackerConfig{
@@ -194,6 +203,7 @@ func runLatency(args []string) error {
 					durations = append(durations, time.Since(t0).Seconds()*1e3)
 					last = res.Estimates[0].Mean
 				}
+				imbMax, imbMean = field.Imbalance()
 			}
 			total := time.Since(start).Seconds()
 
@@ -209,14 +219,19 @@ func runLatency(args []string) error {
 
 			sort.Float64s(durations)
 			entry := latencyEntry{
-				Shards:   grid.String(),
-				Workers:  workers,
-				Steps:    len(durations),
-				P50ms:    stats.Percentile(durations, 50),
-				P95ms:    stats.Percentile(durations, 95),
-				MeanMs:   stats.Mean(durations),
-				TotalS:   total,
-				PerShard: perShardLatency(trace.Snapshot(), grid.Tiles()),
+				Shards:        grid.String(),
+				Rows:          grid.Rows,
+				Cols:          grid.Cols,
+				Tiles:         grid.Tiles(),
+				Workers:       workers,
+				Steps:         len(durations),
+				P50ms:         stats.Percentile(durations, 50),
+				P95ms:         stats.Percentile(durations, 95),
+				MeanMs:        stats.Mean(durations),
+				TotalS:        total,
+				ImbalanceMax:  imbMax,
+				ImbalanceMean: imbMean,
+				PerShard:      perShardLatency(trace.Snapshot(), grid.Tiles()),
 			}
 			if wi == 0 {
 				serialMean = entry.MeanMs

@@ -1,6 +1,7 @@
 package fingerprint
 
 import (
+	"container/list"
 	"math"
 	"sync"
 
@@ -28,10 +29,20 @@ import (
 // sample points; a hit additionally verifies the stored points match
 // elementwise (a hash collision falls back to an uncached direct build
 // rather than returning a wrong database).
+//
+// The cache is bounded: when inserting a new key would exceed the capacity,
+// the least-recently-used entry is evicted first. Eviction never invalidates
+// a database a tracker still holds — a *DB is immutable and shared by
+// pointer, so dropping it from the cache only means the next request for
+// that key rebuilds. Recency is updated on every Get, so the eviction order
+// is a pure function of the Get sequence (deterministic for any serial
+// caller), and since every build is a pure function of its key, no eviction
+// decision can ever change search output.
 type Cache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[cacheKey]*cacheEntry
+	lru     list.List // front = most recent; values are cacheKey
 }
 
 // cacheKey identifies one database build. The points themselves live in the
@@ -50,21 +61,25 @@ type cacheEntry struct {
 	points []geom.Point // build-time layout, kept for collision verification
 	db     *DB
 	err    error
+	elem   *list.Element // position in the recency list (guarded by Cache.mu)
 }
 
 // DefaultCacheCapacity bounds how many databases a Cache retains when
-// NewCache is given no explicit capacity. Entries are never evicted — a
-// database may be shared by live trackers — so once the cache is full,
-// further distinct keys build uncached.
+// NewCache is given no explicit capacity. A 32×32 shard sweep touches up to
+// 1024 distinct tile databases; the bound keeps only the hot working set
+// live and lets the rest be rebuilt on demand.
 const DefaultCacheCapacity = 256
 
 // NewCache returns an empty database cache holding at most capacity
-// databases (<= 0 means DefaultCacheCapacity).
+// databases (<= 0 means DefaultCacheCapacity); beyond that the
+// least-recently-used database is evicted.
 func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
-	return &Cache{cap: capacity, entries: make(map[cacheKey]*cacheEntry)}
+	c := &Cache{cap: capacity, entries: make(map[cacheKey]*cacheEntry)}
+	c.lru.Init()
+	return c
 }
 
 // Len returns how many databases the cache currently holds.
@@ -100,18 +115,28 @@ func (c *Cache) Get(model *fluxmodel.Model, bounds geom.Rect, points []geom.Poin
 
 	c.mu.Lock()
 	e, ok := c.entries[key]
-	if !ok {
-		if len(c.entries) >= c.cap {
-			// Full: build uncached rather than evict a database a live
-			// tracker may still hold.
-			c.mu.Unlock()
-			if m != nil {
-				m.Counter("fingerprint.cache.misses").Inc(0)
+	if ok {
+		c.lru.MoveToFront(e.elem)
+	} else {
+		evicted := 0
+		for len(c.entries) >= c.cap {
+			// Evict the least-recently-used database. Live trackers holding
+			// the evicted *DB are unaffected; only a future request for that
+			// key pays a rebuild.
+			oldest := c.lru.Back()
+			if oldest == nil {
+				break
 			}
-			return NewDBOver(model, bounds, points, cfg, workers, m)
+			delete(c.entries, oldest.Value.(cacheKey))
+			c.lru.Remove(oldest)
+			evicted++
 		}
 		e = &cacheEntry{points: append([]geom.Point(nil), points...)}
+		e.elem = c.lru.PushFront(key)
 		c.entries[key] = e
+		if m != nil && evicted > 0 {
+			m.Counter("fingerprint.cache.evictions").Add(0, uint64(evicted))
+		}
 	}
 	c.mu.Unlock()
 

@@ -142,7 +142,7 @@ func TestCacheCountersAndCapacity(t *testing.T) {
 	if _, err := c.Get(model, model.Field(), pts, CoarseConfig{GridRes: 6}, 1, m); err != nil {
 		t.Fatal(err)
 	}
-	// Cache full: a new key still builds, uncached.
+	// Cache full: a new key evicts the LRU entry and takes its place.
 	if _, err := c.Get(model, model.Field(), pts, CoarseConfig{GridRes: 8}, 1, m); err != nil {
 		t.Fatal(err)
 	}
@@ -151,8 +151,65 @@ func TestCacheCountersAndCapacity(t *testing.T) {
 	}
 	hits := m.Counter("fingerprint.cache.hits").Value()
 	misses := m.Counter("fingerprint.cache.misses").Value()
-	if hits != 1 || misses != 2 {
-		t.Fatalf("hits=%d misses=%d, want 1/2", hits, misses)
+	evictions := m.Counter("fingerprint.cache.evictions").Value()
+	if hits != 1 || misses != 2 || evictions != 1 {
+		t.Fatalf("hits=%d misses=%d evictions=%d, want 1/2/1", hits, misses, evictions)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	model := cacheTestModel(t)
+	pts := cacheTestPoints()
+	m := obs.New(1)
+	c := NewCache(2)
+	get := func(res int) *DB {
+		t.Helper()
+		db, err := c.Get(model, model.Field(), pts, CoarseConfig{GridRes: res}, 1, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	a := get(4) // cache: [a]
+	b := get(5) // cache: [b a]
+	_ = b
+	// Touch a so b becomes least recently used.
+	if got := get(4); got != a {
+		t.Fatal("touching a rebuilt it")
+	}
+	get(6) // evicts b; cache: [c a]
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	// a survived the eviction (it was most recently used) …
+	if got := get(4); got != a {
+		t.Fatal("a was evicted despite being most recently used")
+	}
+	// … and b was the one dropped: asking again rebuilds a distinct DB.
+	if got := get(5); got == b {
+		t.Fatal("b still cached after eviction")
+	}
+	if evictions := m.Counter("fingerprint.cache.evictions").Value(); evictions != 2 {
+		t.Fatalf("evictions = %d, want 2 (b first, then the GridRes=6 entry)", evictions)
+	}
+	// Eviction order is deterministic: replaying the same Get sequence on a
+	// fresh cache evicts the same keys (observable as identical hit/miss
+	// behavior, i.e. the same Len and the same survivors).
+	c2 := NewCache(2)
+	seq := []int{4, 5, 4, 6, 4, 5}
+	var last *DB
+	for _, res := range seq {
+		db, err := c2.Get(model, model.Field(), pts, CoarseConfig{GridRes: res}, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = db
+	}
+	if c2.Len() != 2 {
+		t.Fatalf("replay Len = %d, want 2", c2.Len())
+	}
+	if db, _ := c2.Get(model, model.Field(), pts, CoarseConfig{GridRes: 5}, 1, nil); db != last {
+		t.Fatal("replay: GridRes=5 should be the most recent entry")
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -147,6 +148,43 @@ type Config struct {
 	// 1 = serial). Output is byte-identical at any value.
 	Workers int
 
+	// Sched selects how tiles are assigned to the round's workers. The
+	// default, SchedLPT, weighs each tile by a deterministic cost estimate
+	// (its owned-user count plus the NNLS work its tracker burned last
+	// round) and packs tiles onto workers longest-processing-time first, so
+	// one hot tile under a skewed user distribution no longer serializes
+	// the whole round behind a contiguous shard. SchedStatic keeps the
+	// plain contiguous split (the pre-scale behavior, and the baseline the
+	// scheduler benchmark compares against). Scheduling never affects
+	// output — tiles write index-disjoint state and merge serially — so
+	// both schedulers are byte-identical; they differ only in wall clock.
+	Sched Scheduler
+
+	// TileCapacity caps how many users one tile may own (0 = unlimited).
+	// When a migration would overflow the destination, the user is
+	// admitted instead by the first tile — in the destination's
+	// deterministic neighbor order (ascending center distance, index
+	// tie-break) — that has room and whose halo bounds contain the user's
+	// estimate; if none qualifies the user stays on its source tile and
+	// the round counts a spill (shard.balance.spills). Initial assignment
+	// applies the same admission. NumUsers must not exceed
+	// TileCapacity×tiles.
+	TileCapacity int
+
+	// DenseResults restores the legacy per-tile result shape: every tile
+	// allocates a NumUsers-long estimate array per round instead of the
+	// sparse owned-aligned buffer. Output is byte-identical either way;
+	// the flag exists as the differential-testing reference and the
+	// honest baseline for the scale benchmark.
+	DenseResults bool
+
+	// PerTileMetrics registers per-tile instruments on top of the
+	// aggregated shard.* set: shard.tile.NNN.users (owned-user count per
+	// round, a deterministic queue-depth gauge) and shard.tile.NNN.step_ms
+	// (that tile's step-latency histogram). Off by default — a 32×32 grid
+	// would register 2048 extra instruments.
+	PerTileMetrics bool
+
 	// Metrics receives the coordinator's shard.* counters/histograms and is
 	// inherited by tile trackers whose template Metrics is unset; Trace
 	// receives one tile-scoped span (Span.Tile >= 0) per stepped tile per
@@ -160,6 +198,18 @@ type Config struct {
 	Cache *fingerprint.Cache
 }
 
+// Scheduler selects the tile-to-worker assignment policy of a round.
+type Scheduler int
+
+const (
+	// SchedLPT (the default) schedules tiles longest-processing-time first
+	// by deterministic per-tile cost estimates; see Config.Sched.
+	SchedLPT Scheduler = iota
+	// SchedStatic splits tiles into contiguous index ranges, one per
+	// worker — the pre-scale behavior.
+	SchedStatic
+)
+
 // tile is one shard: its ground, sensors, and tracker, plus the per-round
 // scratch the coordinator reuses.
 type tile struct {
@@ -171,17 +221,42 @@ type tile struct {
 	seed    uint64
 	tracker *smc.Tracker
 
-	owned    []int // users owned this round, ascending
+	owned    []int // users owned this round, ascending (route-arena backed)
 	readings []float64
 	present  []bool
 	age      []int
 
-	// Per-round results, written by this tile's worker only.
+	// estBuf is the tile's reusable sparse estimate buffer: the sparse
+	// step writes this round's owned-aligned estimates into it, so
+	// steady-state rounds allocate no estimate arrays.
+	estBuf []smc.Estimate
+
+	// prevSolves/prevIters checkpoint the tile tracker's cumulative NNLS
+	// work so the coordinator can charge each round's delta into the
+	// tile's next cost estimate. Both are deterministic work counts.
+	prevSolves, prevIters uint64
+
+	// Per-round results, written by this tile's worker only. In sparse
+	// mode (the default) res.Estimates[i] belongs to owned[i]; with
+	// Config.DenseResults it is the legacy dense NumUsers array.
 	res     smc.StepResult
 	err     error
 	stepped bool
 	queueNs int64
 	wallNs  int64
+
+	// Per-tile instruments, bound only when Config.PerTileMetrics is set.
+	usersGauge *obs.Counter
+	stepHist   *obs.Histogram
+}
+
+// estOf returns owned[k]'s estimate from the tile's last result,
+// independent of the result shape (sparse owned-aligned vs legacy dense).
+func (tl *tile) estOf(k int, dense bool) smc.Estimate {
+	if dense {
+		return tl.res.Estimates[tl.owned[k]]
+	}
+	return tl.res.Estimates[k]
 }
 
 // TileInfo is the read-only description of one tile.
@@ -201,8 +276,11 @@ type fieldMetrics struct {
 	steps        *obs.Counter   // shard.step.count
 	handoffs     *obs.Counter   // shard.step.handoffs
 	tilesStepped *obs.Counter   // shard.step.tiles_stepped
+	spills       *obs.Counter   // shard.balance.spills
+	maxTile      *obs.Counter   // shard.balance.max_tile_users
 	queue        *obs.Histogram // shard.tile.queue_ms
 	wall         *obs.Histogram // shard.tile.step_ms
+	tileUsers    *obs.Histogram // shard.tile.users (per-round owned counts)
 }
 
 func (fm *fieldMetrics) bind(m *obs.Metrics, seed uint64) {
@@ -215,8 +293,11 @@ func (fm *fieldMetrics) bind(m *obs.Metrics, seed uint64) {
 		steps:        m.Counter("shard.step.count"),
 		handoffs:     m.Counter("shard.step.handoffs"),
 		tilesStepped: m.Counter("shard.step.tiles_stepped"),
+		spills:       m.Counter("shard.balance.spills"),
+		maxTile:      m.Counter("shard.balance.max_tile_users"),
 		queue:        m.Histogram("shard.tile.queue_ms", obs.DurationBucketsMs),
 		wall:         m.Histogram("shard.tile.step_ms", obs.DurationBucketsMs),
+		tileUsers:    m.Histogram("shard.tile.users", obs.CountBuckets),
 	}
 }
 
@@ -231,10 +312,34 @@ type Field struct {
 	lastEst  []smc.Estimate
 	steps    int
 	handoffs int
+	spills   int
 	met      fieldMetrics
 
 	handIn  []int // per-tile migrations in, reused across rounds
 	handOut []int // per-tile migrations out
+
+	// Counting-sort routing state: one pass over owner fills routeArena
+	// with every tile's owned users in ascending order, and each tile's
+	// owned slice aliases its contiguous segment — zero steady-state
+	// allocations regardless of how users migrate between rounds.
+	routeNext  []int
+	routeArena []int
+	load       []int // users currently owned per tile (capacity accounting)
+
+	// LPT scheduling state: per-tile cost estimates and the reusable
+	// worker plan (see Config.Sched).
+	costs []float64
+	plan  [][]int
+
+	// neighbors[d] lists every other tile in ascending distance from tile
+	// d's center (index tie-break) — the deterministic admission scan
+	// order when d is full. Built only when TileCapacity > 0.
+	neighbors [][]int
+
+	// lastMax/lastMean capture the tile-load imbalance of the most recent
+	// round's routing (see Imbalance).
+	lastMax  int
+	lastMean float64
 }
 
 // New builds a sharded Field over cfg's deployment; seed fixes every tile's
@@ -262,6 +367,13 @@ func New(cfg Config, seed uint64) (*Field, error) {
 	if cfg.InitialPositions != nil && len(cfg.InitialPositions) != cfg.NumUsers {
 		return nil, fmt.Errorf("shard: %d initial positions for %d users", len(cfg.InitialPositions), cfg.NumUsers)
 	}
+	if cfg.TileCapacity < 0 {
+		return nil, fmt.Errorf("shard: TileCapacity %d must be non-negative", cfg.TileCapacity)
+	}
+	if cfg.TileCapacity > 0 && cfg.NumUsers > cfg.TileCapacity*tiles {
+		return nil, fmt.Errorf("shard: %d users exceed TileCapacity %d × %d tiles",
+			cfg.NumUsers, cfg.TileCapacity, tiles)
+	}
 	cache := cfg.Cache
 	if cache == nil && cfg.Tracker.Coarse.Enabled {
 		cache = fingerprint.NewCache(0)
@@ -269,13 +381,17 @@ func New(cfg Config, seed uint64) (*Field, error) {
 
 	field := cfg.Model.Field()
 	f := &Field{
-		cfg:     cfg,
-		field:   field,
-		tiles:   make([]*tile, tiles),
-		owner:   make([]int, cfg.NumUsers),
-		lastEst: make([]smc.Estimate, cfg.NumUsers),
-		handIn:  make([]int, tiles),
-		handOut: make([]int, tiles),
+		cfg:        cfg,
+		field:      field,
+		tiles:      make([]*tile, tiles),
+		owner:      make([]int, cfg.NumUsers),
+		lastEst:    make([]smc.Estimate, cfg.NumUsers),
+		handIn:     make([]int, tiles),
+		handOut:    make([]int, tiles),
+		routeNext:  make([]int, tiles),
+		routeArena: make([]int, cfg.NumUsers),
+		load:       make([]int, tiles),
+		costs:      make([]float64, tiles),
 	}
 	for i := range f.tiles {
 		tl, err := f.newTile(i, cache, seed)
@@ -284,19 +400,72 @@ func New(cfg Config, seed uint64) (*Field, error) {
 		}
 		f.tiles[i] = tl
 	}
+	if cfg.TileCapacity > 0 {
+		f.buildNeighborOrder()
+	}
 	for j := range f.owner {
+		want := j % tiles
 		if cfg.InitialPositions != nil {
-			f.owner[j] = cfg.Grid.TileOf(field, cfg.InitialPositions[j])
-		} else {
-			f.owner[j] = j % tiles
+			want = cfg.Grid.TileOf(field, cfg.InitialPositions[j])
 		}
+		f.owner[j] = f.admit(want)
+		f.load[f.owner[j]]++
 		// Until a user's tile first steps, report what its tracker would:
 		// the tile bounds center with zero confidence.
 		c := f.tiles[f.owner[j]].bounds.Center()
 		f.lastEst[j] = smc.Estimate{Mean: c, Best: c}
 	}
 	f.met.bind(cfg.Metrics, seed)
+	if cfg.PerTileMetrics && cfg.Metrics != nil {
+		for _, tl := range f.tiles {
+			tl.usersGauge = cfg.Metrics.Counter(fmt.Sprintf("shard.tile.%03d.users", tl.index))
+			tl.stepHist = cfg.Metrics.Histogram(fmt.Sprintf("shard.tile.%03d.step_ms", tl.index), obs.DurationBucketsMs)
+		}
+	}
 	return f, nil
+}
+
+// buildNeighborOrder precomputes, for every tile d, the other tiles sorted
+// by ascending distance between tile centers with index tie-breaks — the
+// deterministic scan order of the capacity admission.
+func (f *Field) buildNeighborOrder() {
+	tiles := len(f.tiles)
+	f.neighbors = make([][]int, tiles)
+	for d := range f.tiles {
+		order := make([]int, 0, tiles-1)
+		for i := range f.tiles {
+			if i != d {
+				order = append(order, i)
+			}
+		}
+		cd := f.tiles[d].rect.Center()
+		sort.Slice(order, func(a, b int) bool {
+			da := f.tiles[order[a]].rect.Center().Sub(cd).Norm()
+			db := f.tiles[order[b]].rect.Center().Sub(cd).Norm()
+			if da != db {
+				return da < db
+			}
+			return order[a] < order[b]
+		})
+		f.neighbors[d] = order
+	}
+}
+
+// admit places a new user wanting tile `want` under the capacity rule: the
+// desired tile if it has room, else the nearest tile (in want's neighbor
+// order) with room. Only called from New, where global capacity is already
+// validated, so a slot always exists.
+func (f *Field) admit(want int) int {
+	capacity := f.cfg.TileCapacity
+	if capacity <= 0 || f.load[want] < capacity {
+		return want
+	}
+	for _, nb := range f.neighbors[want] {
+		if f.load[nb] < capacity {
+			return nb
+		}
+	}
+	return want // unreachable: capacity×tiles ≥ NumUsers
 }
 
 // newTile carves tile i out of the field and builds its tracker.
@@ -393,6 +562,19 @@ func (f *Field) Steps() int { return f.steps }
 // deterministic count, identical at any worker count.
 func (f *Field) Handoffs() int { return f.handoffs }
 
+// Spills returns the cumulative number of migrations blocked by
+// Config.TileCapacity with no admissible neighbor — users who stayed on an
+// out-of-ground tile for a round. Deterministic, like Handoffs.
+func (f *Field) Spills() int { return f.spills }
+
+// Imbalance reports the tile-load shape of the most recent round's routing:
+// the largest per-tile owned-user count and the mean (NumUsers/tiles). A
+// max/mean ratio near 1 is a balanced field; large ratios are the skewed
+// distributions the LPT scheduler exists for. Deterministic.
+func (f *Field) Imbalance() (maxUsers int, meanUsers float64) {
+	return f.lastMax, f.lastMean
+}
+
 // WorkTotals sums the cumulative NNLS (solves, iterations) over all tile
 // trackers: the deterministic work measure behind the sharding speedup.
 func (f *Field) WorkTotals() (solves, iters uint64) {
@@ -438,19 +620,14 @@ func (f *Field) StepMasked(t float64, measured []float64, present []bool, age []
 		roundStart = time.Now()
 	}
 
-	for _, tl := range f.tiles {
-		tl.owned = tl.owned[:0]
-		tl.stepped = false
-		tl.err = nil
-	}
-	for j, o := range f.owner { // ascending j: owned lists stay sorted
-		f.tiles[o].owned = append(f.tiles[o].owned, j)
-	}
+	f.route()
 
-	// Fan the tiles out. Each worker touches only its tile's state, so the
-	// round is race-free by construction; determinism comes from the serial
-	// merge below, not from scheduling.
-	_ = par.For(len(f.tiles), f.cfg.Workers, func(_, i int) error {
+	// Fan the tiles out under the configured scheduler. Each worker touches
+	// only its tile's state, so the round is race-free by construction;
+	// determinism comes from the serial merge below, not from scheduling —
+	// the LPT plan only decides which worker runs a tile, never what the
+	// tile computes.
+	stepTile := func(w, i int) error {
 		tl := f.tiles[i]
 		if len(tl.owned) == 0 {
 			return nil
@@ -461,7 +638,16 @@ func (f *Field) StepMasked(t float64, measured []float64, present []bool, age []
 			t0 = time.Now()
 		}
 		m, p, a, users := tl.gather(measured, present, age)
-		res, err := tl.tracker.StepUsersMasked(t, m, p, a, users)
+		var res smc.StepResult
+		var err error
+		if f.cfg.DenseResults {
+			res, err = tl.tracker.StepUsersMasked(t, m, p, a, users)
+		} else {
+			res, err = tl.tracker.StepUsersMaskedSparse(t, m, p, a, users, tl.estBuf)
+			if err == nil {
+				tl.estBuf = res.Estimates // reuse the owned-aligned buffer next round
+			}
+		}
 		if observed {
 			tl.wallNs = time.Since(t0).Nanoseconds()
 		}
@@ -472,7 +658,27 @@ func (f *Field) StepMasked(t float64, measured []float64, present []bool, age []
 		tl.res = res
 		tl.stepped = true
 		return nil
-	})
+	}
+	if f.cfg.Sched == SchedStatic {
+		_ = par.For(len(f.tiles), f.cfg.Workers, stepTile)
+	} else {
+		// Cost-weighted LPT: weigh each tile by its owned-user count plus
+		// the NNLS work it burned last round. Every input is a
+		// deterministic work counter, so the plan — like the output — is a
+		// pure function of the run, reproducible at any worker count.
+		for i, tl := range f.tiles {
+			f.costs[i] = float64(1 + len(tl.owned))
+			solves, iters := tl.tracker.WorkTotals()
+			f.costs[i] += float64(solves - tl.prevSolves + (iters-tl.prevIters)/4)
+		}
+		f.plan = par.LPTAssign(f.costs, f.cfg.Workers, f.plan)
+		_ = par.ForPlan(f.plan, stepTile)
+	}
+	for _, tl := range f.tiles {
+		if tl.stepped {
+			tl.prevSolves, tl.prevIters = tl.tracker.WorkTotals()
+		}
+	}
 
 	// Error scan before any state merges, in ascending tile order: the
 	// first hard error (by tile index) rejects the round with the Field
@@ -501,14 +707,15 @@ func (f *Field) StepMasked(t float64, measured []float64, present []bool, age []
 	}
 
 	// Serial merge in ascending tile order.
+	dense := f.cfg.DenseResults
 	out := smc.StepResult{Time: t, Estimates: make([]smc.Estimate, f.cfg.NumUsers)}
 	for _, tl := range f.tiles {
 		if !tl.stepped {
 			continue
 		}
 		out.Objective += tl.res.Objective
-		for _, j := range tl.owned {
-			f.lastEst[j] = tl.res.Estimates[j]
+		for k, j := range tl.owned {
+			f.lastEst[j] = tl.estOf(k, dense)
 		}
 	}
 	for j := range out.Estimates {
@@ -524,19 +731,24 @@ func (f *Field) StepMasked(t float64, measured []float64, present []bool, age []
 
 	// Handoff pass: serial, ascending (tile, user). A user migrates when
 	// initialized (its estimate is evidence-backed) and its posterior mean
-	// left the owning tile's ground; the sample set moves wholesale and the
-	// source slot resets. Running after the barrier means no tile's step
-	// this round saw a migration decided this round.
-	migrations := 0
+	// left the owning tile's ground; the sample buffers move wholesale (a
+	// pooled transfer, no per-migration allocation) and the source slot
+	// resets. Running after the barrier means no tile's step this round saw
+	// a migration decided this round. Under TileCapacity a full destination
+	// redirects the user through its deterministic neighbor order, or the
+	// user stays put and the round counts a spill — all decided in the same
+	// serial order, so capacity pressure never costs worker invariance.
+	migrations, spills := 0, 0
 	for i := range f.handIn {
 		f.handIn[i], f.handOut[i] = 0, 0
 	}
+	capacity := f.cfg.TileCapacity
 	for _, tl := range f.tiles {
 		if !tl.stepped {
 			continue
 		}
-		for _, j := range tl.owned {
-			est := tl.res.Estimates[j]
+		for k, j := range tl.owned {
+			est := tl.estOf(k, dense)
 			if len(est.Samples) == 0 { // uninitialized: nothing to move
 				continue
 			}
@@ -544,28 +756,74 @@ func (f *Field) StepMasked(t float64, measured []float64, present []bool, age []
 			if dst == tl.index {
 				continue
 			}
-			snap, err := tl.tracker.ExportUser(j)
-			if err == nil {
-				err = f.tiles[dst].tracker.ImportUser(j, snap)
+			if capacity > 0 && f.load[dst] >= capacity {
+				redirect := -1
+				for _, nb := range f.neighbors[dst] {
+					if f.load[nb] < capacity && f.tiles[nb].bounds.Contains(est.Mean) {
+						redirect = nb
+						break
+					}
+				}
+				switch redirect {
+				case -1: // nowhere admissible: stay on the source tile
+					spills++
+					continue
+				case tl.index: // nearest admissible tile is home already
+					continue
+				}
+				dst = redirect
 			}
-			if err == nil {
-				err = tl.tracker.ResetUser(j)
-			}
-			if err != nil {
+			if err := tl.tracker.MoveUserTo(f.tiles[dst].tracker, j); err != nil {
 				return smc.StepResult{}, fmt.Errorf("shard: handoff of user %d, tile %d->%d: %w", j, tl.index, dst, err)
 			}
 			f.owner[j] = dst
+			f.load[tl.index]--
+			f.load[dst]++
 			f.handOut[tl.index]++
 			f.handIn[dst]++
 			migrations++
 		}
 	}
 	f.handoffs += migrations
+	f.spills += spills
 
 	if observed {
-		f.record(t, migrations)
+		f.record(t, migrations, spills)
 	}
 	return out, nil
+}
+
+// route runs the counting-sort observation-routing pass: one count over the
+// owner table sizes each tile's contiguous segment of routeArena, and a
+// second pass over ascending user indices fills the segments — so every
+// tile's owned slice is ascending, aliases the arena, and the pass allocates
+// nothing in steady state no matter how users migrate between rounds. route
+// also resets the tiles' per-round scratch and captures the round's tile-load
+// imbalance (see Imbalance).
+func (f *Field) route() {
+	clear(f.routeNext)
+	for _, o := range f.owner {
+		f.routeNext[o]++
+	}
+	start, maxLoad := 0, 0
+	for i, tl := range f.tiles {
+		n := f.routeNext[i]
+		f.load[i] = n
+		if n > maxLoad {
+			maxLoad = n
+		}
+		tl.owned = f.routeArena[start : start+n]
+		f.routeNext[i] = start // becomes the segment's write cursor
+		start += n
+		tl.stepped = false
+		tl.err = nil
+	}
+	for j, o := range f.owner { // ascending j keeps every segment sorted
+		f.routeArena[f.routeNext[o]] = j
+		f.routeNext[o]++
+	}
+	f.lastMax = maxLoad
+	f.lastMean = float64(len(f.owner)) / float64(len(f.tiles))
 }
 
 // gather copies the tile's slice of the global observation into the tile's
@@ -596,10 +854,12 @@ func (tl *tile) gather(measured []float64, present []bool, age []int) (m []float
 }
 
 // record flushes the round's coordinator observability: shard.* counters,
-// queue/step histograms, and one tile-scoped span per stepped tile. All
-// counters are deterministic; only the histograms and span timings are
-// wall-clock.
-func (f *Field) record(t float64, migrations int) {
+// queue/step histograms, the balance gauges, and one tile-scoped span per
+// stepped tile. All counters are deterministic; only the histograms and span
+// timings are wall-clock. shard.balance.max_tile_users accumulates each
+// round's max tile load, so value/shard.step.count is the mean per-round
+// peak; the full per-round load distribution lands in shard.tile.users.
+func (f *Field) record(t float64, migrations, spills int) {
 	stepped := 0
 	for _, tl := range f.tiles {
 		if tl.stepped {
@@ -611,10 +871,19 @@ func (f *Field) record(t float64, migrations int) {
 		fm.steps.Inc(w)
 		fm.handoffs.Add(w, uint64(migrations))
 		fm.tilesStepped.Add(w, uint64(stepped))
+		fm.spills.Add(w, uint64(spills))
+		fm.maxTile.Add(w, uint64(f.lastMax))
 		for _, tl := range f.tiles {
+			fm.tileUsers.Observe(w, float64(len(tl.owned)))
+			if tl.usersGauge != nil {
+				tl.usersGauge.Add(w, uint64(len(tl.owned)))
+			}
 			if tl.stepped {
 				fm.queue.Observe(w, float64(tl.queueNs)/1e6)
 				fm.wall.Observe(w, float64(tl.wallNs)/1e6)
+				if tl.stepHist != nil {
+					tl.stepHist.Observe(w, float64(tl.wallNs)/1e6)
+				}
 			}
 		}
 	}

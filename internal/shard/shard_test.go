@@ -81,13 +81,17 @@ type world struct {
 }
 
 func buildWorld(t *testing.T, seed uint64, users, rounds int, trajs []mobility.Trajectory) *world {
+	return buildWorldSensors(t, seed, users, rounds, 90, trajs)
+}
+
+func buildWorldSensors(t *testing.T, seed uint64, users, rounds, sensors int, trajs []mobility.Trajectory) *world {
 	t.Helper()
 	src := rng.New(seed)
 	sc, err := core.NewScenario(core.ScenarioConfig{}, src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sniffer, err := sc.NewSnifferCount(90, src)
+	sniffer, err := sc.NewSnifferCount(sensors, src)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -154,11 +154,12 @@ func TestSelectActiveTieBreaks(t *testing.T) {
 	// Pin every user at the same far-corner incumbent with equal
 	// lastUpdate: stretches tie (identical kernel columns) and staleness
 	// ties, so every ordering decision rides on the index tie-breaks.
-	for j := range tr.users {
-		tr.users[j].initialized = true
-		tr.users[j].samples = []geom.Point{geom.Pt(28, 28)}
-		tr.users[j].weights = []float64{1}
-		tr.users[j].lastUpdate = 1
+	for j := 0; j < users; j++ {
+		u := tr.ensure(j)
+		u.initialized = true
+		u.samples = []geom.Point{geom.Pt(28, 28)}
+		u.weights = []float64{1}
+		u.lastUpdate = 1
 	}
 	// True flux comes from the opposite corner, so the incumbent fit is
 	// poor and the stale fill path runs too.
@@ -167,10 +168,12 @@ func TestSelectActiveTieBreaks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := tr.selectActive(prob, 2)
+	base, err := tr.selectActive(prob, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// selectActive returns tracker-owned scratch; copy before re-selecting.
+	base = append([]int(nil), base...)
 	if len(base) != 3 {
 		t.Fatalf("subset size %d, want ActiveSetLimit=3", len(base))
 	}
@@ -185,7 +188,7 @@ func TestSelectActiveTieBreaks(t *testing.T) {
 		t.Fatalf("symmetric tie selection = %v, want [0 1 2]", base)
 	}
 	for trial := 0; trial < 10; trial++ {
-		got, err := tr.selectActive(prob, 2)
+		got, err := tr.selectActive(prob, 2, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,7 +202,7 @@ func TestSelectActiveTieBreaks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, err := tr.selectActive(zero, 3)
+	sub, err := tr.selectActive(zero, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -85,7 +85,18 @@ type Config struct {
 	// searches only the users that appear active (stretch above the idle
 	// threshold), filling spare slots with uninitialized users and, when
 	// the incumbent fit explains the observation poorly, the stalest users.
+	// The cap also applies inside an explicit StepUsers subset larger than
+	// the limit — a sharded tile owning thousands of users selects its
+	// active set among the owned users the same way.
 	ActiveSetLimit int
+	// IncumbentFitLimit bounds the joint incumbent fit of the active-set
+	// selection: when more than this many initialized users would be
+	// pinned, the selection skips the O(k²) Gram fit and falls back to a
+	// deterministic staleness ordering (uninitialized users first in
+	// ascending index order, then initialized users by ascending
+	// lastUpdate with index tie-breaks). Zero means 512; negative disables
+	// the bound (always run the joint fit, the pre-scale behavior).
+	IncumbentFitLimit int
 	// HeadingPrediction enables the mobility-model refinement the paper
 	// sketches in §4.C: instead of discs centered on the previous samples,
 	// prediction discs are centered on the dead-reckoned position
@@ -157,6 +168,9 @@ func (c Config) withDefaults() Config {
 	if c.StaleAttenuation == 0 {
 		c.StaleAttenuation = 0.5
 	}
+	if c.IncumbentFitLimit == 0 {
+		c.IncumbentFitLimit = 512
+	}
 	if c.StaleAttenuation < 0 {
 		c.StaleAttenuation = 0
 	}
@@ -182,6 +196,13 @@ type userState struct {
 	hasVelocity bool
 	prevMean    geom.Point
 	hasPrevMean bool
+	// spareSamples/spareWeights are the update double-buffer: each update
+	// writes the next kept set into the spares and swaps, so the
+	// steady-state filtering step recycles two fixed M-slot buffers per
+	// user instead of allocating fresh ones every round. They never leak:
+	// estimate and ExportUser copy, so no caller holds either buffer.
+	spareSamples []geom.Point
+	spareWeights []float64
 }
 
 // Tracker runs Algorithm 4.1 over a stream of flux observations. It is not
@@ -192,8 +213,18 @@ type userState struct {
 // scratches are shared by every round's incumbent fits and composition
 // searches — keeps the steady-state filtering step allocation-flat in N.
 type Tracker struct {
-	cfg      Config
-	users    []userState
+	cfg Config
+	// users holds per-user SMC state sparsely: a slot materializes (with
+	// its lazily created RNG substream) the first time the user is stepped
+	// or imported, so a tracker responsible for a slice of a much larger
+	// user population — one tile of a sharded field over 10⁵–10⁶ users —
+	// pays memory only for the users it has actually seen. Lazy substream
+	// creation is invisible to determinism: a stream is a pure function of
+	// (seed, user index) and its draw count, regardless of when the Source
+	// object was built. Entries are created only between rounds or in the
+	// serial prologue of a round (ensure), so the parallel phases do
+	// concurrent map reads with no writes.
+	users    map[int]*userState
 	steps    int
 	searcher *fit.Searcher
 	seed     uint64
@@ -208,6 +239,31 @@ type Tracker struct {
 	origArena []int
 	candBuf   [][]geom.Point
 	origBuf   [][]int
+
+	// Per-round scratch reused across Steps so steady-state rounds stay
+	// allocation-flat: the identity subset of the full path, the
+	// active-set selection's worklists, and the sensor-weight buffer.
+	identBuf   []int
+	weightsBuf []float64
+	sel        activeScratch
+}
+
+// activeScratch pools the working storage of selectActive across rounds.
+type activeScratch struct {
+	initialized   []int
+	uninitialized []int
+	positions     []geom.Point
+	byStretch     []userStretch
+	stale         []int
+	subset        []int
+	in            map[int]bool
+}
+
+// userStretch pairs a user with its incumbent-fit stretch for the
+// activity-ordered sort of selectActive.
+type userStretch struct {
+	user int
+	c    float64
 }
 
 // trackerMetrics caches the tracker's counter handles (bound once in New)
@@ -302,7 +358,7 @@ func New(cfg Config, seed uint64) (*Tracker, error) {
 	}
 	tr := &Tracker{
 		cfg:      cfg,
-		users:    make([]userState, cfg.NumUsers),
+		users:    make(map[int]*userState),
 		searcher: fit.NewSearcher(),
 		seed:     seed,
 	}
@@ -323,10 +379,20 @@ func New(cfg Config, seed uint64) (*Tracker, error) {
 	// through EvaluateWorkers, which takes no Options.
 	tr.met.bind(cfg.Metrics, seed)
 	tr.searcher.SetMetrics(cfg.Search.Metrics)
-	for j := range tr.users {
-		tr.users[j].src = rng.New(userStreamSeed(seed, j))
-	}
 	return tr, nil
+}
+
+// ensure materializes user j's state slot (and its RNG substream) if this
+// tracker has never touched the user before. Must only be called from serial
+// code — the constructor path, a round's prologue, or the migration helpers —
+// because it writes the user map.
+func (tr *Tracker) ensure(j int) *userState {
+	u := tr.users[j]
+	if u == nil {
+		u = &userState{src: rng.New(userStreamSeed(tr.seed, j))}
+		tr.users[j] = u
+	}
+	return u
 }
 
 // Steps returns how many observation rounds the tracker has consumed.
@@ -365,6 +431,28 @@ func (tr *Tracker) StepUsersMasked(t float64, measured []float64, present []bool
 	return tr.step(t, measured, present, age, users)
 }
 
+// StepUsersSparse is StepUsers with sparse output: the returned
+// Estimates[i] belongs to users[i] rather than occupying a dense
+// NumUsers-long array, so a caller responsible for a small slice of a huge
+// user population — a tile of a sharded field — pays O(len(users)) per
+// round instead of O(NumUsers). dst, when non-nil, is reused as the
+// estimate buffer (its backing array is overwritten and returned inside the
+// result); pass the previous round's buffer back to keep steady-state
+// stepping allocation-flat. The estimates themselves still carry freshly
+// copied Samples/Weights, so retaining an Estimate across rounds stays
+// safe. Every user in the subset is searched and reported under the same
+// semantics as StepUsers, including the ActiveSetLimit selection within the
+// subset when it is larger than the limit.
+func (tr *Tracker) StepUsersSparse(t float64, measured []float64, users []int, dst []Estimate) (StepResult, error) {
+	return tr.stepAny(t, measured, nil, nil, users, dst, true)
+}
+
+// StepUsersMaskedSparse is StepUsersMasked with the sparse output contract
+// of StepUsersSparse.
+func (tr *Tracker) StepUsersMaskedSparse(t float64, measured []float64, present []bool, age []int, users []int, dst []Estimate) (StepResult, error) {
+	return tr.stepAny(t, measured, present, age, users, dst, true)
+}
+
 // StepMasked is Step over a degraded observation: present marks which
 // sensors delivered a report this round (nil means all), and age gives each
 // delivered report's staleness in rounds (nil means all fresh; aligned with
@@ -380,12 +468,20 @@ func (tr *Tracker) StepMasked(t float64, measured []float64, present []bool, age
 	return tr.step(t, measured, present, age, nil)
 }
 
-// step is the single round implementation behind Step, StepMasked,
-// StepUsers, and StepUsersMasked. users nil (or naming every user) runs the
-// full round with active-set selection; an explicit partial subset is taken
-// verbatim. The tracker borrows the users slice only for the duration of
-// the call.
+// step is the dense-output round entry behind Step, StepMasked, StepUsers,
+// and StepUsersMasked.
 func (tr *Tracker) step(t float64, measured []float64, present []bool, age []int, users []int) (StepResult, error) {
+	return tr.stepAny(t, measured, present, age, users, nil, false)
+}
+
+// stepAny is the single round implementation behind every Step variant.
+// users nil (or naming every user) runs the full round with active-set
+// selection; an explicit subset larger than ActiveSetLimit runs the same
+// selection restricted to the subset, and a smaller one is taken verbatim.
+// With sparse set, Estimates aligns with users (reusing sparseDst);
+// otherwise it is dense over NumUsers. The tracker borrows the users slice
+// only for the duration of the call.
+func (tr *Tracker) stepAny(t float64, measured []float64, present []bool, age []int, users []int, sparseDst []Estimate, sparse bool) (StepResult, error) {
 	// Observation is write-only: the span and counters below never feed
 	// back into the round, so enabling them cannot perturb tracker output.
 	observed := tr.met.m != nil || tr.cfg.Trace != nil
@@ -393,6 +489,10 @@ func (tr *Tracker) step(t float64, measured []float64, present []bool, age []int
 	if observed {
 		t0 = time.Now()
 	}
+	if sparse && users == nil {
+		return StepResult{}, errors.New("smc: sparse step requires a user subset")
+	}
+	var report []int // sparse output alignment; nil = dense over NumUsers
 	if users != nil {
 		prev := -1
 		for _, j := range users {
@@ -405,10 +505,15 @@ func (tr *Tracker) step(t float64, measured []float64, present []bool, age []int
 		if len(users) == 0 {
 			return StepResult{}, errors.New("smc: empty user subset")
 		}
+		if sparse {
+			report = users
+		}
 		if len(users) == tr.cfg.NumUsers {
 			// Strictly ascending and in range with NumUsers entries is the
 			// identity: take the full-round path, active-set selection
-			// included, so a total subset is byte-identical to Step.
+			// included, so a total subset is byte-identical to Step. (In
+			// sparse mode the output alignment is the identity too, so the
+			// estimates match the dense round entry for entry.)
 			users = nil
 		}
 	}
@@ -462,9 +567,13 @@ func (tr *Tracker) step(t float64, measured []float64, present []bool, age []int
 	var spanPtr *obs.Span
 	var solves0, iters0 uint64
 	if observed {
+		spanUsers := tr.cfg.NumUsers
+		if report != nil {
+			spanUsers = len(report)
+		}
 		span = obs.Span{
 			Seed: tr.seed, Step: tr.steps, Time: t, Tile: -1,
-			Users:         tr.cfg.NumUsers,
+			Users:         spanUsers,
 			MaskedSensors: n - delivered,
 			StaleSensors:  staleCount,
 		}
@@ -480,7 +589,10 @@ func (tr *Tracker) step(t float64, measured []float64, present []bool, age []int
 	}
 	if anyStale && tr.cfg.StaleAttenuation > 0 {
 		if weights == nil {
-			weights = make([]float64, n)
+			if cap(tr.weightsBuf) < n {
+				tr.weightsBuf = make([]float64, n)
+			}
+			weights = tr.weightsBuf[:n]
 			for i := range weights {
 				weights[i] = 1
 			}
@@ -497,19 +609,21 @@ func (tr *Tracker) step(t float64, measured []float64, present []bool, age []int
 	}
 
 	subset := users
-	if subset == nil {
-		subset = make([]int, tr.cfg.NumUsers)
-		for j := range subset {
-			subset[j] = j
-		}
-		if tr.cfg.ActiveSetLimit > 0 && tr.cfg.NumUsers > tr.cfg.ActiveSetLimit {
-			subset, err = tr.selectActive(prob, t)
-			if err != nil {
-				return StepResult{}, err
-			}
-		}
+	switch {
+	case subset == nil && tr.cfg.ActiveSetLimit > 0 && tr.cfg.NumUsers > tr.cfg.ActiveSetLimit:
+		subset, err = tr.selectActive(prob, t, nil)
+	case subset == nil:
+		subset = tr.identitySubset()
+	case tr.cfg.ActiveSetLimit > 0 && len(subset) > tr.cfg.ActiveSetLimit:
+		// An explicit subset beyond the cap runs the same selection,
+		// restricted to the subset's users: a sharded tile owning thousands
+		// of users searches only the ones that look active this round.
+		subset, err = tr.selectActive(prob, t, subset)
 	}
-	out, err := tr.stepSubset(prob, t, subset, spanPtr)
+	if err != nil {
+		return StepResult{}, err
+	}
+	out, err := tr.stepSubset(prob, t, subset, report, sparseDst, spanPtr)
 	if err != nil {
 		return out, err
 	}
@@ -540,23 +654,49 @@ func (tr *Tracker) recordStep(span *obs.Span) {
 	tr.cfg.Trace.Add(*span)
 }
 
+// identitySubset returns the pooled [0, NumUsers) subset of the full-round
+// path.
+func (tr *Tracker) identitySubset() []int {
+	if cap(tr.identBuf) < tr.cfg.NumUsers {
+		tr.identBuf = make([]int, tr.cfg.NumUsers)
+		for j := range tr.identBuf {
+			tr.identBuf[j] = j
+		}
+	}
+	return tr.identBuf[:tr.cfg.NumUsers]
+}
+
 // selectActive picks the users that join this round's candidate search (at
 // most ActiveSetLimit): users whose stretch in the incumbent-position fit is
 // above the idle threshold, then uninitialized users needing bootstrap, then
 // — when the incumbent fit explains the observation poorly — the users with
-// the largest accumulated Δt (most positional uncertainty).
-func (tr *Tracker) selectActive(prob *fit.Problem, t float64) ([]int, error) {
+// the largest accumulated Δt (most positional uncertainty). candidates
+// restricts the selection to an explicit user pool (strictly ascending); nil
+// means every user. The returned subset aliases tracker-owned scratch valid
+// until the next selection.
+func (tr *Tracker) selectActive(prob *fit.Problem, t float64, candidates []int) ([]int, error) {
 	limit := tr.cfg.ActiveSetLimit
+	sc := &tr.sel
 
-	var initialized []int
-	var uninitialized []int
-	for j := range tr.users {
-		if tr.users[j].initialized {
-			initialized = append(initialized, j)
+	sc.initialized = sc.initialized[:0]
+	sc.uninitialized = sc.uninitialized[:0]
+	classify := func(j int) {
+		if u := tr.users[j]; u != nil && u.initialized {
+			sc.initialized = append(sc.initialized, j)
 		} else {
-			uninitialized = append(uninitialized, j)
+			sc.uninitialized = append(sc.uninitialized, j)
 		}
 	}
+	if candidates == nil {
+		for j := 0; j < tr.cfg.NumUsers; j++ {
+			classify(j)
+		}
+	} else {
+		for _, j := range candidates {
+			classify(j)
+		}
+	}
+	initialized, uninitialized := sc.initialized, sc.uninitialized
 	if len(initialized) == 0 {
 		if len(uninitialized) > limit {
 			uninitialized = uninitialized[:limit]
@@ -564,9 +704,59 @@ func (tr *Tracker) selectActive(prob *fit.Problem, t float64) ([]int, error) {
 		return uninitialized, nil
 	}
 
+	subset := sc.subset[:0]
+	if sc.in == nil {
+		sc.in = make(map[int]bool, limit)
+	} else {
+		clear(sc.in)
+	}
+	add := func(j int) bool {
+		if len(subset) >= limit || sc.in[j] {
+			return false
+		}
+		subset = append(subset, j)
+		sc.in[j] = true
+		return true
+	}
+
+	if fl := tr.cfg.IncumbentFitLimit; fl > 0 && len(initialized) > fl {
+		// Too many pinned users for the joint O(k²) Gram fit to pay off:
+		// fall back to a deterministic ordering that needs no fit at all —
+		// bootstrap the uninitialized first (ascending index), then refresh
+		// the stalest initialized users. This trades per-round activity
+		// detection for bounded cost; the stale rotation still visits every
+		// user, just over more rounds.
+		for _, j := range uninitialized {
+			if !add(j) {
+				break
+			}
+		}
+		sc.stale = append(sc.stale[:0], initialized...)
+		stale := sc.stale
+		sort.Slice(stale, func(a, b int) bool {
+			ua, ub := stale[a], stale[b]
+			if tr.users[ua].lastUpdate != tr.users[ub].lastUpdate {
+				return tr.users[ua].lastUpdate < tr.users[ub].lastUpdate
+			}
+			return ua < ub
+		})
+		for _, j := range stale {
+			if len(subset) >= limit {
+				break
+			}
+			add(j)
+		}
+		sort.Ints(subset)
+		sc.subset = subset
+		return subset, nil
+	}
+
 	// Incumbent fit: all initialized users pinned at their current best.
 	// The per-user kernel columns shard across the tracker's workers.
-	positions := make([]geom.Point, len(initialized))
+	if cap(sc.positions) < len(initialized) {
+		sc.positions = make([]geom.Point, len(initialized))
+	}
+	positions := sc.positions[:len(initialized)]
 	for i, j := range initialized {
 		positions[i] = tr.users[j].samples[0]
 	}
@@ -579,23 +769,11 @@ func (tr *Tracker) selectActive(prob *fit.Problem, t float64) ([]int, error) {
 		maxStretch = math.Max(maxStretch, c)
 	}
 
-	subset := make([]int, 0, limit)
-	inSubset := make(map[int]bool, limit)
-	add := func(j int) bool {
-		if len(subset) >= limit || inSubset[j] {
-			return false
-		}
-		subset = append(subset, j)
-		inSubset[j] = true
-		return true
-	}
-
 	// 1. Apparently-active users, strongest first.
-	type userStretch struct {
-		user int
-		c    float64
+	if cap(sc.byStretch) < len(initialized) {
+		sc.byStretch = make([]userStretch, len(initialized))
 	}
-	byStretch := make([]userStretch, len(initialized))
+	byStretch := sc.byStretch[:len(initialized)]
 	for i, j := range initialized {
 		byStretch[i] = userStretch{user: j, c: ev.Stretches[i]}
 	}
@@ -621,7 +799,8 @@ func (tr *Tracker) selectActive(prob *fit.Problem, t float64) ([]int, error) {
 	// far from its incumbent position leaves unexplained flux behind.
 	obsNorm := mat.Norm2(prob.Measured())
 	if obsNorm > 0 && ev.Objective > 0.3*obsNorm {
-		stale := append([]int(nil), initialized...)
+		sc.stale = append(sc.stale[:0], initialized...)
+		stale := sc.stale
 		sort.Slice(stale, func(a, b int) bool {
 			// Stalest first; users updated in the same round (equal
 			// lastUpdate — the common case right after bootstrap) fill the
@@ -643,6 +822,7 @@ func (tr *Tracker) selectActive(prob *fit.Problem, t float64) ([]int, error) {
 		subset = append(subset, byStretch[0].user)
 	}
 	sort.Ints(subset)
+	sc.subset = subset
 	return subset, nil
 }
 
@@ -672,12 +852,20 @@ func (tr *Tracker) predictBuffers(k int) ([][]geom.Point, [][]int) {
 }
 
 // stepSubset runs one Algorithm 4.1 round with only the subset users in the
-// candidate search; the remaining users are treated as idle this round. A
-// non-nil span receives the round's phase timings and work counts; it never
-// influences the round itself.
-func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int, span *obs.Span) (StepResult, error) {
+// candidate search; the remaining users are treated as idle this round.
+// report selects the output shape: nil fills a dense NumUsers estimate
+// array; otherwise Estimates[i] belongs to report[i], written into sparseDst
+// when it has capacity. A non-nil span receives the round's phase timings
+// and work counts; it never influences the round itself.
+func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int, report []int, sparseDst []Estimate, span *obs.Span) (StepResult, error) {
 	if len(subset) == 0 {
 		return StepResult{}, errors.New("smc: empty user subset")
+	}
+	// Materialize every searched user's state serially before fanning out:
+	// the parallel phases below only read the user map (and mutate distinct
+	// *userState values), so lazy slot creation never races.
+	for _, j := range subset {
+		tr.ensure(j)
 	}
 	var mark time.Time
 	if span != nil {
@@ -724,18 +912,34 @@ func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int, span *
 		maxStretch = math.Max(maxStretch, c)
 	}
 
-	out := StepResult{Time: t, Objective: best.Objective,
-		Estimates: make([]Estimate, tr.cfg.NumUsers)}
-	inSubset := make(map[int]int, len(subset)) // user -> subset position
-	for i, j := range subset {
-		inSubset[j] = i
+	var ests []Estimate
+	if report == nil {
+		ests = make([]Estimate, tr.cfg.NumUsers)
+	} else {
+		// Sparse output: reuse the caller's buffer when it is big enough so
+		// steady-state sparse stepping allocates no estimate array.
+		if cap(sparseDst) < len(report) {
+			sparseDst = make([]Estimate, len(report))
+		}
+		ests = sparseDst[:len(report)]
+	}
+	out := StepResult{Time: t, Objective: best.Objective, Estimates: ests}
+	num := tr.cfg.NumUsers
+	if report != nil {
+		num = len(report)
 	}
 	// Update and estimate bookkeeping: independent per user (user j's state
-	// and estimate slot are touched by exactly one worker).
-	_ = par.For(len(tr.users), tr.cfg.Workers, func(_, j int) error {
-		i, searched := inSubset[j]
-		if !searched {
-			out.Estimates[j] = tr.estimate(j, false, 0)
+	// and estimate slot are touched by exactly one worker). Subset
+	// membership resolves by binary search — subset is strictly ascending —
+	// so no per-round membership map is built.
+	_ = par.For(num, tr.cfg.Workers, func(_, idx int) error {
+		j := idx
+		if report != nil {
+			j = report[idx]
+		}
+		i := sort.SearchInts(subset, j)
+		if i >= len(subset) || subset[i] != j {
+			ests[idx] = tr.estimate(j, false, 0)
 			return nil
 		}
 		stretch := best.Stretches[i]
@@ -743,7 +947,7 @@ func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int, span *
 		if active {
 			tr.update(j, t, res.PerUser[i], origins[i])
 		}
-		out.Estimates[j] = tr.estimate(j, active, stretch)
+		ests[idx] = tr.estimate(j, active, stretch)
 		return nil
 	})
 	tr.steps++
@@ -764,7 +968,7 @@ func (tr *Tracker) stepSubset(prob *fit.Problem, t float64, subset []int, span *
 // uniformly over the tracker bounds (the field, unless Config.Bounds
 // narrows it). All randomness comes from user j's substream.
 func (tr *Tracker) predictInto(j int, t float64, cands []geom.Point, origins []int) {
-	u := &tr.users[j]
+	u := tr.users[j] // ensured by stepSubset's serial prologue
 	field := tr.cfg.Bounds
 	if !u.initialized {
 		for i := range cands {
@@ -800,11 +1004,21 @@ func (tr *Tracker) predictInto(j int, t float64, cands []geom.Point, origins []i
 // update replaces user j's kept set with the top-M ranked positions and
 // refreshes the importance weights per Eq 4.3:
 // w_t(i) ∝ w_{t−1}(origin(i)) · P(o_t | P(i)) with P(o|P(i)) ≈ 1/objective.
+// The new set is written into the user's spare double-buffer and swapped in,
+// so steady-state updates recycle two M-slot buffers instead of allocating.
 func (tr *Tracker) update(j int, t float64, ranked []fit.RankedPosition, origins []int) {
-	u := &tr.users[j]
+	u := tr.users[j] // ensured by stepSubset's serial prologue
 	m := min(tr.cfg.M, len(ranked))
-	newSamples := make([]geom.Point, m)
-	newWeights := make([]float64, m)
+	newSamples := u.spareSamples
+	if cap(newSamples) < m {
+		newSamples = make([]geom.Point, m)
+	}
+	newSamples = newSamples[:m]
+	newWeights := u.spareWeights
+	if cap(newWeights) < m {
+		newWeights = make([]float64, m)
+	}
+	newWeights = newWeights[:m]
 	var total float64
 	for i := 0; i < m; i++ {
 		r := ranked[i]
@@ -830,6 +1044,8 @@ func (tr *Tracker) update(j int, t float64, ranked []fit.RankedPosition, origins
 		}
 	}
 	dt := t - u.lastUpdate
+	u.spareSamples = u.samples[:0:cap(u.samples)]
+	u.spareWeights = u.weights[:0:cap(u.weights)]
 	u.samples = newSamples
 	u.weights = newWeights
 	u.lastUpdate = t
@@ -850,11 +1066,13 @@ func (tr *Tracker) update(j int, t float64, ranked []fit.RankedPosition, origins
 	u.hasPrevMean = true
 }
 
-// estimate summarizes user j's current sample set.
+// estimate summarizes user j's current sample set. Reads only: a user with
+// no materialized slot is simply uninitialized, so the estimate path never
+// writes the user map and is safe to run concurrently per user.
 func (tr *Tracker) estimate(j int, active bool, stretch float64) Estimate {
-	u := &tr.users[j]
+	u := tr.users[j]
 	est := Estimate{Active: active, Stretch: stretch}
-	if !u.initialized {
+	if u == nil || !u.initialized {
 		// Never updated: report the bounds center with zero confidence.
 		est.Mean = tr.cfg.Bounds.Center()
 		est.Best = est.Mean
@@ -897,7 +1115,10 @@ func (tr *Tracker) ExportUser(j int) (UserSnapshot, error) {
 	if j < 0 || j >= tr.cfg.NumUsers {
 		return UserSnapshot{}, fmt.Errorf("smc: export user %d outside [0,%d)", j, tr.cfg.NumUsers)
 	}
-	u := &tr.users[j]
+	u := tr.users[j]
+	if u == nil {
+		return UserSnapshot{}, nil // never touched: uninitialized
+	}
 	return UserSnapshot{
 		Samples:     append([]geom.Point(nil), u.samples...),
 		Weights:     append([]float64(nil), u.weights...),
@@ -927,9 +1148,9 @@ func (tr *Tracker) ImportUser(j int, s UserSnapshot) error {
 			return fmt.Errorf("smc: snapshot has %d samples but %d weights", len(s.Samples), len(s.Weights))
 		}
 	}
-	u := &tr.users[j]
-	u.samples = append([]geom.Point(nil), s.Samples...)
-	u.weights = append([]float64(nil), s.Weights...)
+	u := tr.ensure(j)
+	u.samples = append(u.samples[:0], s.Samples...)
+	u.weights = append(u.weights[:0], s.Weights...)
 	u.lastUpdate = s.LastUpdate
 	u.initialized = s.Initialized
 	u.velocity = s.Velocity
@@ -942,13 +1163,67 @@ func (tr *Tracker) ImportUser(j int, s UserSnapshot) error {
 // ResetUser clears user j back to the uninitialized bootstrap state (the
 // source side of a migration). The slot keeps its RNG substream: a user
 // migrating back later resumes the same deterministic stream, advanced by
-// exactly the draws the slot has made.
+// exactly the draws the slot has made. The slot's sample buffers are kept
+// (emptied) for reuse, so a reset/re-import cycle allocates nothing.
 func (tr *Tracker) ResetUser(j int) error {
 	if j < 0 || j >= tr.cfg.NumUsers {
 		return fmt.Errorf("smc: reset user %d outside [0,%d)", j, tr.cfg.NumUsers)
 	}
-	src := tr.users[j].src
-	tr.users[j] = userState{src: src}
+	u := tr.users[j]
+	if u == nil {
+		return nil // never touched: already the bootstrap state
+	}
+	*u = userState{
+		src:          u.src,
+		samples:      u.samples[:0],
+		weights:      u.weights[:0],
+		spareSamples: u.spareSamples,
+		spareWeights: u.spareWeights,
+	}
+	return nil
+}
+
+// MoveUserTo transfers user j's state from tr to dst — semantically
+// ExportUser + ImportUser + ResetUser, but by handing the sample buffers
+// over instead of deep-copying them, and recycling dst's previous buffers
+// into the vacated source slot. Steady-state seam migration in a sharded
+// field therefore allocates nothing. Both trackers keep their own RNG
+// substreams for the slot, exactly as the snapshot path does.
+func (tr *Tracker) MoveUserTo(dst *Tracker, j int) error {
+	if j < 0 || j >= tr.cfg.NumUsers {
+		return fmt.Errorf("smc: move user %d outside [0,%d)", j, tr.cfg.NumUsers)
+	}
+	if j >= dst.cfg.NumUsers {
+		return fmt.Errorf("smc: move user %d outside destination [0,%d)", j, dst.cfg.NumUsers)
+	}
+	su := tr.users[j]
+	if su == nil {
+		// Nothing to move: the destination must still end up uninitialized,
+		// matching import-of-empty-snapshot + reset semantics.
+		return dst.ResetUser(j)
+	}
+	du := dst.ensure(j)
+	oldSamples, oldWeights := du.samples, du.weights
+	*du = userState{
+		samples:      su.samples,
+		weights:      su.weights,
+		lastUpdate:   su.lastUpdate,
+		initialized:  su.initialized,
+		src:          du.src,
+		velocity:     su.velocity,
+		hasVelocity:  su.hasVelocity,
+		prevMean:     su.prevMean,
+		hasPrevMean:  su.hasPrevMean,
+		spareSamples: du.spareSamples,
+		spareWeights: du.spareWeights,
+	}
+	*su = userState{
+		src:          su.src,
+		samples:      oldSamples[:0],
+		weights:      oldWeights[:0],
+		spareSamples: su.spareSamples,
+		spareWeights: su.spareWeights,
+	}
 	return nil
 }
 

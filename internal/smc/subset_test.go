@@ -90,6 +90,158 @@ func TestStepUsersPartialSubset(t *testing.T) {
 	}
 }
 
+// TestStepUsersSparseMatchesDense: the sparse-output step must produce, for
+// each requested user, exactly the estimate the dense step produces in that
+// user's slot — same search, same updates, same objective — with the
+// caller's estimate buffer reused across rounds.
+func TestStepUsersSparseMatchesDense(t *testing.T) {
+	for _, cfg := range []Config{
+		{N: 100, M: 5},
+		{N: 100, M: 5, ActiveSetLimit: 1},
+	} {
+		a, b, stream := subsetWorld(t, cfg)
+		subset := []int{0, 2}
+		var buf []Estimate
+		for r, o := range stream {
+			tm := float64(r + 1)
+			want, err1 := a.StepUsers(tm, o, subset)
+			got, err2 := b.StepUsersSparse(tm, o, subset, buf)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if len(got.Estimates) != len(subset) {
+				t.Fatalf("round %d: %d sparse estimates, want %d", r, len(got.Estimates), len(subset))
+			}
+			if got.Objective != want.Objective || got.Time != want.Time {
+				t.Fatalf("round %d: objective/time diverged", r)
+			}
+			for i, j := range subset {
+				if !reflect.DeepEqual(got.Estimates[i], want.Estimates[j]) {
+					t.Fatalf("round %d user %d: sparse estimate diverged from dense", r, j)
+				}
+			}
+			buf = got.Estimates // reuse the buffer: contents must be rewritten
+		}
+	}
+}
+
+// TestStepUsersSparseFullSubsetIsStep: a sparse step over every user runs
+// the full-round semantics (active-set selection included) and aligns
+// estimates identically with the dense Step.
+func TestStepUsersSparseFullSubsetIsStep(t *testing.T) {
+	for _, cfg := range []Config{
+		{N: 100, M: 5},
+		{N: 100, M: 5, ActiveSetLimit: 1},
+	} {
+		a, b, stream := subsetWorld(t, cfg)
+		for r, o := range stream {
+			tm := float64(r + 1)
+			want, err1 := a.Step(tm, o)
+			got, err2 := b.StepUsersSparse(tm, o, []int{0, 1, 2}, nil)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if !reflect.DeepEqual(want.Estimates, got.Estimates) ||
+				want.Objective != got.Objective {
+				t.Fatalf("round %d: sparse full subset diverged from Step (limit %d)",
+					r, cfg.ActiveSetLimit)
+			}
+		}
+	}
+}
+
+// TestActiveSetWithinExplicitSubset: an explicit subset larger than
+// ActiveSetLimit runs the selection restricted to the subset — users outside
+// the subset are never searched, and at most ActiveSetLimit inside it are.
+func TestActiveSetWithinExplicitSubset(t *testing.T) {
+	a, _, stream := subsetWorld(t, Config{N: 100, M: 5, ActiveSetLimit: 2})
+	subset := []int{0, 1, 2}
+	res, err := a.StepUsers(1, stream[0], subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	searched := 0
+	for j, est := range res.Estimates {
+		snap, _ := a.ExportUser(j)
+		if snap.Initialized {
+			searched++
+		}
+		_ = est
+	}
+	if searched == 0 || searched > 2 {
+		t.Fatalf("%d users searched, want 1..2 (ActiveSetLimit)", searched)
+	}
+}
+
+// TestMoveUserToMatchesSnapshotPath: the pooled migration must leave both
+// trackers in exactly the state the export/import/reset path produces, and
+// the subsequent rounds must be byte-identical.
+func TestMoveUserToMatchesSnapshotPath(t *testing.T) {
+	mkPair := func() (*Tracker, *Tracker, [][]float64) {
+		return subsetWorld(t, Config{N: 100, M: 5})
+	}
+	a1, b1, stream := mkPair()
+	a2, b2, _ := mkPair()
+	for r, o := range stream[:2] {
+		tm := float64(r + 1)
+		if _, err := a1.Step(tm, o); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a2.Step(tm, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot path on pair 1.
+	snap, err := a1.ExportUser(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b1.ImportUser(1, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.ResetUser(1); err != nil {
+		t.Fatal(err)
+	}
+	// Pooled path on pair 2.
+	if err := a2.MoveUserTo(b2, 1); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		s1, _ := a1.ExportUser(j)
+		s2, _ := a2.ExportUser(j)
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("source user %d diverged after move", j)
+		}
+		d1, _ := b1.ExportUser(j)
+		d2, _ := b2.ExportUser(j)
+		if !reflect.DeepEqual(d1, d2) {
+			t.Fatalf("destination user %d diverged after move", j)
+		}
+	}
+	// The moved trackers must keep producing identical rounds.
+	r1, err1 := b1.StepUsers(3, stream[2], []int{1})
+	r2, err2 := b2.StepUsers(3, stream[2], []int{1})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("post-move rounds diverged")
+	}
+	// Moving a never-touched user clears the destination slot, matching
+	// export-of-uninitialized + import + reset.
+	fresh, _, _ := mkPair()
+	if err := fresh.MoveUserTo(b1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if cleared, _ := b1.ExportUser(1); cleared.Initialized || len(cleared.Samples) != 0 {
+		t.Fatalf("move of untouched user left state behind: %+v", cleared)
+	}
+	// Validation.
+	if err := a1.MoveUserTo(b1, 9); err == nil {
+		t.Error("out-of-range move accepted")
+	}
+}
+
 // TestSnapshotRoundTrip: export → import moves a user's full state between
 // trackers, deep-copied, and the two trackers then predict from identical
 // sample sets.
