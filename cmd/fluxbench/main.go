@@ -144,6 +144,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "shardbench" {
 		return runShardBench(args[1:])
 	}
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:])
+	}
 	if len(args) > 0 && args[0] == "report" {
 		return runReport(args[1:])
 	}

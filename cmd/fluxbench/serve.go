@@ -1,0 +1,333 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"fluxtrack/internal/mobility"
+	"fluxtrack/internal/obs"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/serve"
+	"fluxtrack/internal/traffic"
+)
+
+// serveReport is the schema written by `fluxbench serve -json`: the
+// tracker-step latency distribution of the resident service (internal/serve)
+// at each tenant count, driven over loopback HTTP, against optional p50/p95
+// step SLOs. A violated SLO makes the command exit non-zero — the CI shape
+// of a latency regression gate.
+type serveReport struct {
+	Users      int     `json:"users"`
+	TrackN     int     `json:"track_n"`
+	Sensors    int     `json:"sensors"`
+	Rounds     int     `json:"rounds"`
+	Seed       uint64  `json:"seed"`
+	Queue      int     `json:"queue"`
+	SLOP50ms   float64 `json:"slo_p50_ms,omitempty"`
+	SLOP95ms   float64 `json:"slo_p95_ms,omitempty"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"go_version"`
+
+	Entries []serveEntry `json:"entries"`
+}
+
+type serveEntry struct {
+	Tenants int `json:"tenants"`
+	// Steps is the total tracker rounds stepped across all tenants.
+	Steps      uint64  `json:"steps"`
+	StepP50ms  float64 `json:"step_p50_ms"`
+	StepP95ms  float64 `json:"step_p95_ms"`
+	StepMeanMs float64 `json:"step_mean_ms"`
+	HTTPP50ms  float64 `json:"http_p50_ms"`
+	HTTPP95ms  float64 `json:"http_p95_ms"`
+	// Rejected counts 429 backpressure rejections (each retried by the
+	// driver, so every round still lands exactly once).
+	Rejected uint64  `json:"rejected"`
+	TotalS   float64 `json:"total_seconds"`
+	SLOPass  bool    `json:"slo_pass"`
+}
+
+// runServe benchmarks the resident service end to end: a fresh server and
+// registry per tenant count, T tenants streaming one precomputed
+// observation set concurrently over loopback HTTP, step latency read from
+// the serve.step.ms histogram.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("fluxbench serve", flag.ContinueOnError)
+	var (
+		users   = fs.Int("users", 20, "tracked users per tenant")
+		trackN  = fs.Int("trackn", 200, "SMC prediction samples per user")
+		trackM  = fs.Int("trackm", 10, "representatives kept per user")
+		sensors = fs.Int("sensors", 90, "monitored sensor count")
+		rounds  = fs.Int("rounds", 12, "observation rounds per tenant")
+		seed    = fs.Uint64("seed", 1, "base seed")
+		queue   = fs.Int("queue", 16, "per-tenant ingestion queue depth")
+		tenants = fs.String("tenants", "1,2,4", "comma-separated tenant counts to sweep")
+		shards  = fs.String("shards", "", "per-tenant tile grid RxC (empty = plain tracker)")
+		halo    = fs.Float64("halo", 2, "tile halo width when -shards is set")
+		sloP50  = fs.Float64("slo-p50", 0, "fail if any entry's step p50 exceeds this (ms, 0 = no SLO)")
+		sloP95  = fs.Float64("slo-p95", 0, "fail if any entry's step p95 exceeds this (ms, 0 = no SLO)")
+		jsonOut = fs.String("json", "", "write the report as JSON to this file (- for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tenantCounts, err := parseWorkerList(*tenants)
+	if err != nil {
+		return err
+	}
+
+	report := serveReport{
+		Users: *users, TrackN: *trackN, Rounds: *rounds, Seed: *seed, Queue: *queue,
+		SLOP50ms: *sloP50, SLOP95ms: *sloP95,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(),
+	}
+
+	violated := false
+	for _, tc := range tenantCounts {
+		entry, sensorsSeen, err := serveTrial(serveTrialConfig{
+			tenants: tc, users: *users, trackN: *trackN, trackM: *trackM,
+			sensors: *sensors, rounds: *rounds, seed: *seed, queue: *queue,
+			shards: *shards, halo: *halo,
+		})
+		if err != nil {
+			return err
+		}
+		report.Sensors = sensorsSeen
+		entry.SLOPass = (*sloP50 <= 0 || entry.StepP50ms <= *sloP50) &&
+			(*sloP95 <= 0 || entry.StepP95ms <= *sloP95)
+		if !entry.SLOPass {
+			violated = true
+		}
+		report.Entries = append(report.Entries, entry)
+		fmt.Printf("tenants=%-3d steps=%-5d step p50=%.3gms p95=%.3gms mean=%.3gms  http p50=%.3gms  429s=%d  %.2fs%s\n",
+			entry.Tenants, entry.Steps, entry.StepP50ms, entry.StepP95ms, entry.StepMeanMs,
+			entry.HTTPP50ms, entry.Rejected, entry.TotalS, sloTag(entry.SLOPass, *sloP50, *sloP95))
+	}
+
+	if *jsonOut != "" {
+		if err := writeServeReport(report, *jsonOut); err != nil {
+			return err
+		}
+	}
+	if violated {
+		return fmt.Errorf("step latency SLO violated (p50 <= %gms, p95 <= %gms)", *sloP50, *sloP95)
+	}
+	return nil
+}
+
+func sloTag(pass bool, p50, p95 float64) string {
+	if p50 <= 0 && p95 <= 0 {
+		return ""
+	}
+	if pass {
+		return "  [slo ok]"
+	}
+	return "  [SLO VIOLATED]"
+}
+
+func writeServeReport(report serveReport, path string) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+type serveTrialConfig struct {
+	tenants, users, trackN, trackM, sensors, rounds, queue int
+	seed                                                   uint64
+	shards                                                 string
+	halo                                                   float64
+}
+
+func serveTrial(cfg serveTrialConfig) (serveEntry, int, error) {
+	metrics := obs.New(0)
+	srv, err := serve.New(serve.Config{
+		Seed:            cfg.seed,
+		SnifferFraction: float64(cfg.sensors) / 900,
+		DefaultQueue:    cfg.queue,
+		MaxTenants:      cfg.tenants,
+		Metrics:         metrics,
+	})
+	if err != nil {
+		return serveEntry{}, 0, err
+	}
+	defer srv.Close()
+
+	// Precompute one observation stream against the server's vantage; every
+	// tenant replays it, so the steady-state load is tenant-count × stream.
+	stream, err := serveStream(srv, cfg.users, cfg.rounds, cfg.seed+1)
+	if err != nil {
+		return serveEntry{}, 0, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return serveEntry{}, 0, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	for i := 0; i < cfg.tenants; i++ {
+		body, _ := json.Marshal(serve.TenantConfig{
+			Users: cfg.users, Seed: cfg.seed + uint64(i),
+			Samples: cfg.trackN, TrackM: cfg.trackM,
+			Shards: cfg.shards, Halo: cfg.halo, Queue: cfg.queue,
+		})
+		resp, err := http.Post(fmt.Sprintf("%s/v1/tenant/t%d", base, i), "application/json", bytes.NewReader(body))
+		if err != nil {
+			return serveEntry{}, 0, err
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return serveEntry{}, 0, fmt.Errorf("create tenant %d: %d %s", i, resp.StatusCode, msg)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.tenants)
+	for i := 0; i < cfg.tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs <- driveTenant(base, fmt.Sprintf("t%d", i), stream, cfg.rounds)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return serveEntry{}, 0, err
+		}
+	}
+	total := time.Since(start).Seconds()
+
+	entry := serveEntry{Tenants: cfg.tenants, TotalS: total}
+	snap := metrics.Snapshot()
+	for _, h := range snap.Histograms {
+		switch h.Name {
+		case "serve.step.ms":
+			entry.StepP50ms = h.Quantile(0.50)
+			entry.StepP95ms = h.Quantile(0.95)
+			entry.StepMeanMs = h.Mean()
+		case "serve.http.ms":
+			entry.HTTPP50ms = h.Quantile(0.50)
+			entry.HTTPP95ms = h.Quantile(0.95)
+		}
+	}
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "serve.rounds.stepped":
+			entry.Steps = c.Value
+		case "serve.observe.rejected":
+			entry.Rejected = c.Value
+		}
+	}
+	return entry, srv.Sensors(), nil
+}
+
+// serveStream synthesizes one multi-round observation set against the
+// server's sniffer: random-walking users, noiseless measurement.
+func serveStream(srv *serve.Server, users, rounds int, seed uint64) ([]serve.Observation, error) {
+	src := rng.New(seed)
+	sc := srv.Scenario()
+	trajs := make([]mobility.Trajectory, users)
+	for i := range trajs {
+		w, err := mobility.NewRandomWalk(sc.Field(), src.InRect(sc.Field()), 3, rounds+1, src)
+		if err != nil {
+			return nil, err
+		}
+		trajs[i] = w
+	}
+	stretches := make([]float64, users)
+	for i := range stretches {
+		stretches[i] = src.Uniform(1, 3)
+	}
+	var out []serve.Observation
+	for r := 0; r < rounds; r++ {
+		t := float64(r + 1)
+		us := make([]traffic.User, users)
+		for i := range us {
+			us[i] = traffic.User{Pos: sc.Field().Clamp(trajs[i].At(t)), Stretch: stretches[i], Active: true}
+		}
+		readings, err := srv.Sniffer().Observe(us, 0, src)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, serve.Observation{T: t, Readings: readings})
+	}
+	return out, nil
+}
+
+// driveTenant streams every round into one tenant (retrying 429s) and
+// blocks until the tenant has stepped them all.
+func driveTenant(base, id string, stream []serve.Observation, rounds int) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, o := range stream {
+		body, err := json.Marshal(o)
+		if err != nil {
+			return err
+		}
+		for {
+			resp, err := client.Post(base+"/v1/tenant/"+id+"/observe", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				break
+			}
+			if resp.StatusCode != http.StatusTooManyRequests {
+				return fmt.Errorf("observe %s: %d %s", id, resp.StatusCode, msg)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		resp, err := client.Get(base + "/v1/tenant/" + id + "/estimate")
+		if err != nil {
+			return err
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("estimate %s: %d %s", id, resp.StatusCode, msg)
+		}
+		var est serve.EstimateResponse
+		if err := json.Unmarshal(msg, &est); err != nil {
+			return err
+		}
+		if est.StepError != "" {
+			return fmt.Errorf("tenant %s: step error %s", id, est.StepError)
+		}
+		if est.Rounds >= rounds && est.Pending == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("tenant %s stuck at %d/%d rounds", id, est.Rounds, rounds)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

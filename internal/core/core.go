@@ -388,12 +388,15 @@ func (sn *Sniffer) trackerTemplate(numUsers int, cfg TrackerConfig) smc.Config {
 }
 
 // StepTracker is the round-stepping surface shared by the plain smc.Tracker
-// and the sharded shard.Field, so experiment and benchmark code threads one
-// code path for both.
+// and the sharded shard.Field, so experiment, benchmark, and serving code
+// threads one code path for both. WorkTotals exposes the cumulative NNLS
+// effort for observability; it feeds dashboards and schedulers only and
+// never influences tracker output.
 type StepTracker interface {
 	Step(t float64, measured []float64) (smc.StepResult, error)
 	StepMasked(t float64, measured []float64, present []bool, age []int) (smc.StepResult, error)
 	Steps() int
+	WorkTotals() (solves, iters uint64)
 }
 
 var (

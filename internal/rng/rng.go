@@ -203,3 +203,28 @@ func (s *Source) Weighted(weights []float64) int {
 	}
 	return -1
 }
+
+// State is the complete serializable state of a Source: the splitmix64
+// stream cursor plus the Box-Muller spare cache. A Source restored from a
+// State continues its stream exactly where the exporting Source stood —
+// draw for draw, bit for bit — which is what makes tracker checkpoints
+// (internal/serve) resume byte-identically.
+type State struct {
+	Cursor   uint64
+	Spare    float64
+	HasSpare bool
+}
+
+// State exports the source's current stream position.
+func (s *Source) State() State {
+	return State{Cursor: s.state, Spare: s.spare, HasSpare: s.hasSpare}
+}
+
+// Restore rewinds (or fast-forwards) the source to a previously exported
+// stream position. The next draw after Restore(st) equals the next draw the
+// exporting source would have made after State() returned st.
+func (s *Source) Restore(st State) {
+	s.state = st.Cursor
+	s.spare = st.Spare
+	s.hasSpare = st.HasSpare
+}

@@ -1,0 +1,560 @@
+// Package serve hosts the tracking pipeline as a resident multi-tenant
+// streaming service: each tenant owns a tracker (plain smc.Tracker or
+// sharded shard.Field) fed by a bounded ingestion queue with explicit
+// backpressure, stepped by a dedicated goroutine, and observable through
+// the internal/obs registry. This file is the tenant state checkpoint
+// codec: a versioned, checksummed binary encoding of the tracker state
+// surfaces (smc.TrackerState, shard.FieldState) so a process restart or a
+// tenant migration resumes mid-track byte-identically.
+//
+// Wire format (all integers little-endian):
+//
+//	[0:4)   magic "FXCP"
+//	[4:6)   format version (currently 1)
+//	[6]     kind: 1 = plain SMC tracker, 2 = sharded field
+//	[7:n-4) payload (kind-specific, see encode{Tracker,Field}State)
+//	[n-4:n) IEEE CRC-32 over bytes [0, n-4)
+//
+// Versioning rules (DESIGN.md §6.8): the version covers the entire payload
+// layout — any field added, removed, or reordered bumps it. A decoder only
+// accepts versions it was built to read and must keep reading every version
+// it ever shipped (the golden-blob compatibility gate in CI enforces that
+// v1 blobs restore forever). Corrupt input of any shape — truncated,
+// bit-flipped, version-skewed, oversized counts — yields a typed error,
+// never a panic and never a silently wrong state: the trailing CRC rejects
+// every mutation, and the fuzz battery (fuzz_test.go) hammers the parser
+// with hostile bytes.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"fluxtrack/internal/core"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/shard"
+	"fluxtrack/internal/smc"
+)
+
+// Version is the current checkpoint format version.
+const Version = 1
+
+// checkpointMagic brands every checkpoint blob.
+var checkpointMagic = [4]byte{'F', 'X', 'C', 'P'}
+
+const (
+	kindSMC   = 1 // payload is one smc.TrackerState
+	kindShard = 2 // payload is one shard.FieldState
+)
+
+// Typed decode failures; test with errors.Is. Every error a decoder can
+// return wraps exactly one of these.
+var (
+	// ErrBadMagic: the blob does not start with the checkpoint magic.
+	ErrBadMagic = errors.New("serve: checkpoint: bad magic")
+	// ErrVersion: the format version is not one this decoder reads.
+	ErrVersion = errors.New("serve: checkpoint: unsupported version")
+	// ErrTruncated: the blob ends before its structure does.
+	ErrTruncated = errors.New("serve: checkpoint: truncated")
+	// ErrChecksum: the trailing CRC-32 does not match the content.
+	ErrChecksum = errors.New("serve: checkpoint: checksum mismatch")
+	// ErrMalformed: framing and checksum pass but the payload violates a
+	// structural invariant (impossible counts, trailing garbage, unknown
+	// kind). A well-formed encoder never produces this.
+	ErrMalformed = errors.New("serve: checkpoint: malformed")
+)
+
+// Checkpoint is a decoded tenant state: exactly one of the two fields is
+// set, mirroring the two tracker shapes a tenant can host.
+type Checkpoint struct {
+	SMC   *smc.TrackerState
+	Field *shard.FieldState
+}
+
+// Capture exports the resumable state of a StepTracker into a Checkpoint.
+// It never mutates the tracker.
+func Capture(st core.StepTracker) (Checkpoint, error) {
+	switch tr := st.(type) {
+	case *smc.Tracker:
+		s := tr.ExportState()
+		return Checkpoint{SMC: &s}, nil
+	case *shard.Field:
+		s := tr.ExportState()
+		return Checkpoint{Field: &s}, nil
+	default:
+		return Checkpoint{}, fmt.Errorf("serve: cannot checkpoint tracker type %T", st)
+	}
+}
+
+// RestoreInto replays the checkpoint into a tracker of the matching shape,
+// built from the same configuration and seed the state was exported under.
+func (c Checkpoint) RestoreInto(st core.StepTracker) error {
+	switch tr := st.(type) {
+	case *smc.Tracker:
+		if c.SMC == nil {
+			return fmt.Errorf("%w: sharded checkpoint restored into a plain tracker", ErrMalformed)
+		}
+		return tr.RestoreState(*c.SMC)
+	case *shard.Field:
+		if c.Field == nil {
+			return fmt.Errorf("%w: plain checkpoint restored into a sharded field", ErrMalformed)
+		}
+		return tr.RestoreState(*c.Field)
+	default:
+		return fmt.Errorf("serve: cannot restore into tracker type %T", st)
+	}
+}
+
+// Encode serializes the checkpoint into the versioned binary format. The
+// encoding is canonical: equal states produce identical bytes, and every
+// blob Decode accepts re-encodes to exactly itself (the fuzz round-trip
+// target pins this).
+func Encode(c Checkpoint) ([]byte, error) {
+	if (c.SMC == nil) == (c.Field == nil) {
+		return nil, errors.New("serve: checkpoint must carry exactly one tracker state")
+	}
+	var e encoder
+	e.buf = append(e.buf, checkpointMagic[:]...)
+	e.u16(Version)
+	if c.SMC != nil {
+		e.u8(kindSMC)
+		e.trackerState(*c.SMC)
+	} else {
+		e.u8(kindShard)
+		e.fieldState(*c.Field)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(e.buf))
+	return append(e.buf, crc[:]...), nil
+}
+
+// Decode parses a checkpoint blob, rejecting every malformed input with a
+// typed error. It never panics on hostile bytes.
+func Decode(data []byte) (Checkpoint, error) {
+	const overhead = 4 + 2 + 1 + 4 // magic + version + kind + crc
+	if len(data) < overhead {
+		return Checkpoint{}, fmt.Errorf("%w: %d bytes is below the %d-byte envelope", ErrTruncated, len(data), overhead)
+	}
+	if [4]byte(data[:4]) != checkpointMagic {
+		return Checkpoint{}, fmt.Errorf("%w: got % x", ErrBadMagic, data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
+		return Checkpoint{}, fmt.Errorf("%w: blob is v%d, decoder reads v%d", ErrVersion, v, Version)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return Checkpoint{}, fmt.Errorf("%w: computed %#x, stored %#x", ErrChecksum, got, want)
+	}
+	d := decoder{buf: body[7:]}
+	kind := body[6]
+	var c Checkpoint
+	switch kind {
+	case kindSMC:
+		st, err := d.trackerState()
+		if err != nil {
+			return Checkpoint{}, err
+		}
+		c.SMC = &st
+	case kindShard:
+		st, err := d.fieldState()
+		if err != nil {
+			return Checkpoint{}, err
+		}
+		c.Field = &st
+	default:
+		return Checkpoint{}, fmt.Errorf("%w: unknown kind %d", ErrMalformed, kind)
+	}
+	if len(d.buf) != d.pos {
+		return Checkpoint{}, fmt.Errorf("%w: %d trailing payload bytes", ErrMalformed, len(d.buf)-d.pos)
+	}
+	return c, nil
+}
+
+// ---- encoder ----
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)    { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16)  { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *encoder) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+func (e *encoder) point(p geom.Point) { e.f64(p.X); e.f64(p.Y) }
+
+func (e *encoder) points(ps []geom.Point) {
+	e.u32(uint32(len(ps)))
+	for _, p := range ps {
+		e.point(p)
+	}
+}
+
+func (e *encoder) floats(fs []float64) {
+	e.u32(uint32(len(fs)))
+	for _, f := range fs {
+		e.f64(f)
+	}
+}
+
+func (e *encoder) trackerState(st smc.TrackerState) {
+	e.u64(st.Seed)
+	e.u64(uint64(st.NumUsers))
+	e.u64(uint64(st.Steps))
+	e.u32(uint32(len(st.Users)))
+	for _, uc := range st.Users {
+		e.u32(uint32(uc.User))
+		e.u64(uc.RNG.Cursor)
+		e.f64(uc.RNG.Spare)
+		e.boolean(uc.RNG.HasSpare)
+		s := uc.Snapshot
+		e.boolean(s.Initialized)
+		e.f64(s.LastUpdate)
+		e.f64(s.Velocity.DX)
+		e.f64(s.Velocity.DY)
+		e.boolean(s.HasVelocity)
+		e.point(s.PrevMean)
+		e.boolean(s.HasPrevMean)
+		e.points(s.Samples)
+		e.floats(s.Weights)
+	}
+}
+
+func (e *encoder) estimate(est smc.Estimate) {
+	e.point(est.Mean)
+	e.point(est.Best)
+	e.f64(est.Stretch)
+	e.boolean(est.Active)
+	e.points(est.Samples)
+	e.floats(est.Weights)
+}
+
+func (e *encoder) fieldState(st shard.FieldState) {
+	e.u64(st.Seed)
+	e.u64(uint64(st.NumUsers))
+	e.u32(uint32(st.Tiles))
+	e.u64(uint64(st.Steps))
+	e.u64(uint64(st.Handoffs))
+	e.u64(uint64(st.Spills))
+	e.u64(uint64(st.LastMax))
+	e.f64(st.LastMean)
+	for _, o := range st.Owner {
+		e.u32(uint32(o))
+	}
+	for _, est := range st.LastEst {
+		e.estimate(est)
+	}
+	for _, ts := range st.Trackers {
+		e.trackerState(ts)
+	}
+}
+
+// ---- decoder ----
+
+// decoder reads the payload with strict bounds checks: every primitive read
+// verifies the remaining length, and every element count is validated
+// against the bytes that could possibly back it before any slice is
+// allocated, so hostile counts can neither panic nor balloon memory.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.pos }
+
+func (d *decoder) need(n int) error {
+	if d.remaining() < n {
+		return fmt.Errorf("%w: payload needs %d more bytes, has %d", ErrTruncated, n, d.remaining())
+	}
+	return nil
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v, nil
+}
+
+func (d *decoder) f64() (float64, error) {
+	v, err := d.u64()
+	return math.Float64frombits(v), err
+}
+
+func (d *decoder) boolean() (bool, error) {
+	v, err := d.u8()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, fmt.Errorf("%w: boolean byte %d", ErrMalformed, v)
+}
+
+// nonNegInt decodes a u64 that must fit a non-negative int.
+func (d *decoder) nonNegInt(what string) (int, error) {
+	v, err := d.u64()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt64/2 {
+		return 0, fmt.Errorf("%w: %s %d is implausible", ErrMalformed, what, v)
+	}
+	return int(v), nil
+}
+
+// count decodes an element count and verifies the remaining payload can
+// back it at elemSize bytes apiece.
+func (d *decoder) count(what string, elemSize int) (int, error) {
+	v, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	n := int(v)
+	if n > d.remaining()/elemSize {
+		return 0, fmt.Errorf("%w: %s count %d, payload has %d bytes",
+			ErrTruncated, what, n, d.remaining())
+	}
+	return n, nil
+}
+
+func (d *decoder) point() (geom.Point, error) {
+	x, err := d.f64()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	y, err := d.f64()
+	return geom.Pt(x, y), err
+}
+
+func (d *decoder) pointSlice(what string) ([]geom.Point, error) {
+	n, err := d.count(what, 16)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]geom.Point, n)
+	for i := range out {
+		if out[i], err = d.point(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (d *decoder) floatSlice(what string) ([]float64, error) {
+	n, err := d.count(what, 8)
+	if err != nil || n == 0 {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if out[i], err = d.f64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (d *decoder) trackerState() (smc.TrackerState, error) {
+	var st smc.TrackerState
+	var err error
+	if st.Seed, err = d.u64(); err != nil {
+		return st, err
+	}
+	if st.NumUsers, err = d.nonNegInt("user population"); err != nil {
+		return st, err
+	}
+	if st.Steps, err = d.nonNegInt("step count"); err != nil {
+		return st, err
+	}
+	// One user costs at least 47 payload bytes (index + RNG + flags +
+	// bookkeeping + two empty slice counts).
+	n, err := d.count("tracker users", 47)
+	if err != nil {
+		return st, err
+	}
+	if n > st.NumUsers {
+		return st, fmt.Errorf("%w: %d user slots for a population of %d", ErrMalformed, n, st.NumUsers)
+	}
+	prev := -1
+	for i := 0; i < n; i++ {
+		var uc smc.UserCheckpoint
+		u, err := d.u32()
+		if err != nil {
+			return st, err
+		}
+		uc.User = int(u)
+		if uc.User <= prev || uc.User >= st.NumUsers {
+			return st, fmt.Errorf("%w: user index %d after %d (population %d)", ErrMalformed, uc.User, prev, st.NumUsers)
+		}
+		prev = uc.User
+		if uc.RNG.Cursor, err = d.u64(); err != nil {
+			return st, err
+		}
+		if uc.RNG.Spare, err = d.f64(); err != nil {
+			return st, err
+		}
+		if uc.RNG.HasSpare, err = d.boolean(); err != nil {
+			return st, err
+		}
+		s := &uc.Snapshot
+		if s.Initialized, err = d.boolean(); err != nil {
+			return st, err
+		}
+		if s.LastUpdate, err = d.f64(); err != nil {
+			return st, err
+		}
+		if s.Velocity.DX, err = d.f64(); err != nil {
+			return st, err
+		}
+		if s.Velocity.DY, err = d.f64(); err != nil {
+			return st, err
+		}
+		if s.HasVelocity, err = d.boolean(); err != nil {
+			return st, err
+		}
+		if s.PrevMean, err = d.point(); err != nil {
+			return st, err
+		}
+		if s.HasPrevMean, err = d.boolean(); err != nil {
+			return st, err
+		}
+		if s.Samples, err = d.pointSlice("user samples"); err != nil {
+			return st, err
+		}
+		if s.Weights, err = d.floatSlice("user weights"); err != nil {
+			return st, err
+		}
+		if s.Initialized && (len(s.Samples) == 0 || len(s.Samples) != len(s.Weights)) {
+			return st, fmt.Errorf("%w: initialized user %d with %d samples, %d weights",
+				ErrMalformed, uc.User, len(s.Samples), len(s.Weights))
+		}
+		st.Users = append(st.Users, uc)
+	}
+	return st, nil
+}
+
+func (d *decoder) estimate() (smc.Estimate, error) {
+	var est smc.Estimate
+	var err error
+	if est.Mean, err = d.point(); err != nil {
+		return est, err
+	}
+	if est.Best, err = d.point(); err != nil {
+		return est, err
+	}
+	if est.Stretch, err = d.f64(); err != nil {
+		return est, err
+	}
+	if est.Active, err = d.boolean(); err != nil {
+		return est, err
+	}
+	if est.Samples, err = d.pointSlice("estimate samples"); err != nil {
+		return est, err
+	}
+	est.Weights, err = d.floatSlice("estimate weights")
+	return est, err
+}
+
+func (d *decoder) fieldState() (shard.FieldState, error) {
+	var st shard.FieldState
+	var err error
+	if st.Seed, err = d.u64(); err != nil {
+		return st, err
+	}
+	if st.NumUsers, err = d.nonNegInt("field population"); err != nil {
+		return st, err
+	}
+	tiles, err := d.u32()
+	if err != nil {
+		return st, err
+	}
+	st.Tiles = int(tiles)
+	if st.Steps, err = d.nonNegInt("field steps"); err != nil {
+		return st, err
+	}
+	if st.Handoffs, err = d.nonNegInt("handoffs"); err != nil {
+		return st, err
+	}
+	if st.Spills, err = d.nonNegInt("spills"); err != nil {
+		return st, err
+	}
+	if st.LastMax, err = d.nonNegInt("imbalance max"); err != nil {
+		return st, err
+	}
+	if st.LastMean, err = d.f64(); err != nil {
+		return st, err
+	}
+	// Owner table: NumUsers u32 entries. Divide rather than multiply so a
+	// hostile population count cannot overflow the guard into an allocation.
+	if st.NumUsers > d.remaining()/4 {
+		return st, fmt.Errorf("%w: owner table of %d entries, payload has %d bytes",
+			ErrTruncated, st.NumUsers, d.remaining())
+	}
+	st.Owner = make([]int, st.NumUsers)
+	for j := range st.Owner {
+		o, err := d.u32()
+		if err != nil {
+			return st, err
+		}
+		if int(o) >= st.Tiles {
+			return st, fmt.Errorf("%w: owner[%d] = %d with %d tiles", ErrMalformed, j, o, st.Tiles)
+		}
+		st.Owner[j] = int(o)
+	}
+	st.LastEst = make([]smc.Estimate, 0, st.NumUsers)
+	for j := 0; j < st.NumUsers; j++ {
+		est, err := d.estimate()
+		if err != nil {
+			return st, err
+		}
+		st.LastEst = append(st.LastEst, est)
+	}
+	// One tile tracker costs at least 28 payload bytes (seed + population +
+	// steps + empty user count).
+	if st.Tiles > d.remaining()/28 {
+		return st, fmt.Errorf("%w: %d tile trackers, payload has %d bytes",
+			ErrTruncated, st.Tiles, d.remaining())
+	}
+	for i := 0; i < st.Tiles; i++ {
+		ts, err := d.trackerState()
+		if err != nil {
+			return st, err
+		}
+		st.Trackers = append(st.Trackers, ts)
+	}
+	return st, nil
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/rng"
+	"fluxtrack/internal/smc"
+)
+
+// typedDecodeError reports whether err is one of the codec's sentinel
+// failures — the only errors Decode is allowed to return.
+func typedDecodeError(err error) bool {
+	return errors.Is(err, ErrBadMagic) || errors.Is(err, ErrVersion) ||
+		errors.Is(err, ErrTruncated) || errors.Is(err, ErrChecksum) ||
+		errors.Is(err, ErrMalformed)
+}
+
+// FuzzCheckpointDecode throws arbitrary bytes at the decoder. The contract:
+// no panic ever; rejection always carries a typed sentinel; and anything
+// accepted must be canonical — re-encoding the decoded state reproduces the
+// input byte for byte (so there is exactly one wire form per state, which
+// is what lets the golden-blob gate pin the format).
+func FuzzCheckpointDecode(f *testing.F) {
+	tr := synthTrackerState()
+	fd := synthFieldState()
+	if blob, err := Encode(Checkpoint{SMC: &tr}); err == nil {
+		f.Add(blob)
+		f.Add(blob[:len(blob)/2])
+		mut := append([]byte(nil), blob...)
+		mut[len(mut)/2] ^= 0x40
+		f.Add(mut)
+	}
+	if blob, err := Encode(Checkpoint{Field: &fd}); err == nil {
+		f.Add(blob)
+		f.Add(blob[:7])
+	}
+	f.Add([]byte("FXCP"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			if !typedDecodeError(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if (c.SMC == nil) == (c.Field == nil) {
+			t.Fatal("accepted checkpoint does not carry exactly one state")
+		}
+		again, err := Encode(c)
+		if err != nil {
+			t.Fatalf("accepted checkpoint fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatal("accepted blob is not canonical: re-encode differs")
+		}
+	})
+}
+
+// FuzzCheckpointRoundTrip synthesizes tracker states from fuzzed scalars
+// and pins encode → decode → re-encode exactness: the decoded state is
+// DeepEqual to the original and the second encoding is byte-identical.
+// Float bit patterns pass through verbatim (including NaN payloads and
+// signed zeros), so the fuzzer explores the full float64 space.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(3), 0.5, 1.25, uint8(2), false)
+	f.Add(uint64(0), uint64(0), math.Inf(1), -0.0, uint8(0), true)
+	f.Add(^uint64(0), uint64(1<<40), math.NaN(), 1e-300, uint8(7), true)
+	f.Fuzz(func(t *testing.T, seed, cursor uint64, w0, x0 float64, n uint8, spare bool) {
+		users := int(n%5) + 1
+		samples := int(n % 4)
+		uc := smc.UserCheckpoint{
+			User: 0,
+			RNG:  rng.State{Cursor: cursor, Spare: w0, HasSpare: spare},
+		}
+		for i := 0; i < samples; i++ {
+			uc.Snapshot.Samples = append(uc.Snapshot.Samples, geom.Pt(x0*float64(i+1), w0))
+			uc.Snapshot.Weights = append(uc.Snapshot.Weights, w0+float64(i))
+		}
+		uc.Snapshot.Initialized = samples > 0
+		uc.Snapshot.LastUpdate = x0
+		st := smc.TrackerState{Seed: seed, NumUsers: users, Steps: int(n), Users: []smc.UserCheckpoint{uc}}
+		c := Checkpoint{SMC: &st}
+		blob, err := Encode(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		if !stateBitsEqual(got.SMC, &st) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got.SMC, &st)
+		}
+		again, err := Encode(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, blob) {
+			t.Fatal("re-encode is not byte-identical")
+		}
+	})
+}
+
+// stateBitsEqual is DeepEqual modulo NaN: floats compare by bit pattern, so
+// NaN-carrying states (which the codec must preserve exactly) still match.
+func stateBitsEqual(a, b *smc.TrackerState) bool {
+	return reflect.DeepEqual(bitsView(*a), bitsView(*b))
+}
+
+// bitsView maps every float in the state to its IEEE bit pattern.
+type bitsTracker struct {
+	Seed            uint64
+	NumUsers, Steps int
+	Users           []bitsUser
+}
+
+type bitsUser struct {
+	User        int
+	Cursor      uint64
+	Spare       uint64
+	HasSpare    bool
+	Samples     [][2]uint64
+	Weights     []uint64
+	LastUpdate  uint64
+	Initialized bool
+	Velocity    [2]uint64
+	HasVelocity bool
+	PrevMean    [2]uint64
+	HasPrevMean bool
+}
+
+func bitsView(st smc.TrackerState) bitsTracker {
+	out := bitsTracker{Seed: st.Seed, NumUsers: st.NumUsers, Steps: st.Steps}
+	b := math.Float64bits
+	for _, uc := range st.Users {
+		s := uc.Snapshot
+		bu := bitsUser{
+			User: uc.User, Cursor: uc.RNG.Cursor, Spare: b(uc.RNG.Spare), HasSpare: uc.RNG.HasSpare,
+			LastUpdate: b(s.LastUpdate), Initialized: s.Initialized,
+			Velocity: [2]uint64{b(s.Velocity.DX), b(s.Velocity.DY)}, HasVelocity: s.HasVelocity,
+			PrevMean: [2]uint64{b(s.PrevMean.X), b(s.PrevMean.Y)}, HasPrevMean: s.HasPrevMean,
+		}
+		for _, p := range s.Samples {
+			bu.Samples = append(bu.Samples, [2]uint64{b(p.X), b(p.Y)})
+		}
+		for _, w := range s.Weights {
+			bu.Weights = append(bu.Weights, b(w))
+		}
+		out.Users = append(out.Users, bu)
+	}
+	return out
+}

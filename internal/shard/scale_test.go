@@ -346,6 +346,10 @@ func TestScaleSmokeDigest(t *testing.T) {
 	users := scaleSmokeUsers(t)
 	const rounds = 3
 	w := buildWorldSensors(t, 7, users, rounds, 160, nil)
+	// Capacity at twice the even per-tile share: loose enough that a random
+	// population routes mostly unimpeded, tight enough that the capacity
+	// admission path runs at scale and its spill count joins the digest.
+	capacity := (2*users + 63) / 64
 	digest := func(workers int) uint64 {
 		f, err := shard.New(shard.Config{
 			Model:        w.sc.Model(),
@@ -354,6 +358,7 @@ func TestScaleSmokeDigest(t *testing.T) {
 			Grid:         shard.Grid{Rows: 8, Cols: 8, Halo: 3},
 			Tracker:      smc.Config{N: 60, M: 5, ActiveSetLimit: 6, Workers: 2},
 			Workers:      workers,
+			TileCapacity: capacity,
 		}, 77)
 		if err != nil {
 			t.Fatal(err)
@@ -373,6 +378,8 @@ func TestScaleSmokeDigest(t *testing.T) {
 		}
 		binary.LittleEndian.PutUint64(buf[:], uint64(f.Handoffs()))
 		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(f.Spills()))
+		h.Write(buf[:])
 		maxLoad, _ := f.Imbalance()
 		binary.LittleEndian.PutUint64(buf[:], uint64(maxLoad))
 		h.Write(buf[:])
@@ -381,5 +388,55 @@ func TestScaleSmokeDigest(t *testing.T) {
 	serialish := digest(2)
 	if wide := digest(0); wide != serialish {
 		t.Fatalf("scale digest diverges across worker counts: %#x vs %#x", serialish, wide)
+	}
+}
+
+// TestSpillGoldenHotCorner pins the exact spill count of the hardest
+// capacity scenario — the whole population clustered in one corner tile
+// (capacity 3) drifting across seams toward the center — as a seed-pinned
+// golden. The count is a pure function of (world seed, field seed, config):
+// any change to routing order, admission tie-breaks, or handoff sequencing
+// shows up here as a changed constant, which a PR must then justify.
+func TestSpillGoldenHotCorner(t *testing.T) {
+	const users, rounds = 10, 8
+	const wantSpills = 6 // seed-pinned: (world 13, field 29, 4×4 halo 2.5, cap 3)
+	trajs := skewTrajectories("hot-corner", users)
+	w := buildWorld(t, 13, users, rounds, trajs)
+	starts := make([]geom.Point, users)
+	for i, tr := range trajs {
+		starts[i] = w.sc.Field().Clamp(tr.At(1))
+	}
+	run := func() (int, int) {
+		f, err := shard.New(shard.Config{
+			Model:            w.sc.Model(),
+			SamplePoints:     w.points,
+			NumUsers:         users,
+			Grid:             shard.Grid{Rows: 4, Cols: 4, Halo: 2.5},
+			Tracker:          smc.Config{N: 120, M: 6},
+			TileCapacity:     3,
+			InitialPositions: starts,
+		}, 29)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r, o := range w.obs {
+			if _, err := f.Step(float64(r+1), o); err != nil {
+				t.Fatalf("round %d: %v", r, err)
+			}
+		}
+		return f.Spills(), f.Handoffs()
+	}
+	spills, handoffs := run()
+	if spills != wantSpills {
+		t.Errorf("hot-corner spills = %d, want pinned golden %d", spills, wantSpills)
+	}
+	if spills < 1 {
+		t.Errorf("spills = %d: the hot corner over capacity 3 must spill", spills)
+	}
+	if handoffs < 1 {
+		t.Errorf("handoffs = %d: the drifting cluster must cross seams", handoffs)
+	}
+	if again, _ := run(); again != spills {
+		t.Fatalf("spill count not reproducible: %d then %d", spills, again)
 	}
 }

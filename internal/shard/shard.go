@@ -307,6 +307,7 @@ func (fm *fieldMetrics) bind(m *obs.Metrics, seed uint64) {
 type Field struct {
 	cfg      Config
 	field    geom.Rect
+	seed     uint64
 	tiles    []*tile
 	owner    []int // user -> owning tile
 	lastEst  []smc.Estimate
@@ -383,6 +384,7 @@ func New(cfg Config, seed uint64) (*Field, error) {
 	f := &Field{
 		cfg:        cfg,
 		field:      field,
+		seed:       seed,
 		tiles:      make([]*tile, tiles),
 		owner:      make([]int, cfg.NumUsers),
 		lastEst:    make([]smc.Estimate, cfg.NumUsers),

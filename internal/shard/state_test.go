@@ -1,0 +1,143 @@
+package shard_test
+
+import (
+	"reflect"
+	"testing"
+
+	"fluxtrack/internal/fault"
+	"fluxtrack/internal/geom"
+	"fluxtrack/internal/mobility"
+	"fluxtrack/internal/shard"
+	"fluxtrack/internal/smc"
+)
+
+// crossingTrajectories drives users across the 2x2 seams so the resumed
+// field must reproduce handoffs, not just estimates.
+func crossingTrajectories(users int) []mobility.Trajectory {
+	trajs := make([]mobility.Trajectory, users)
+	for i := range trajs {
+		fi := float64(i)
+		trajs[i] = mobility.Linear{
+			Start: geom.Pt(10+0.4*fi, 11-0.4*fi),
+			V:     geom.Vec{DX: 1.2, DY: 1.1},
+		}
+	}
+	return trajs
+}
+
+// fieldOutcome is everything a resumed field must reproduce.
+type fieldOutcome struct {
+	results  []smc.StepResult
+	owners   []int
+	handoffs int
+	spills   int
+	steps    int
+}
+
+func outcomeOf(f *shard.Field, results []smc.StepResult, users int) fieldOutcome {
+	oc := fieldOutcome{results: results, handoffs: f.Handoffs(), spills: f.Spills(), steps: f.Steps()}
+	for j := 0; j < users; j++ {
+		oc.owners = append(oc.owners, f.Owner(j))
+	}
+	return oc
+}
+
+// TestFieldExportRestoreResumesByteIdentically is the sharded resume
+// contract under the hardest available conditions: seam crossings and
+// masked (fault-degraded) rounds, where the restored field must carry the
+// owner table, the carried-forward estimate cache, and every tile tracker's
+// sample sets and RNG cursors. Checkpoint lands mid-stream, right where
+// handoffs are in flight.
+func TestFieldExportRestoreResumesByteIdentically(t *testing.T) {
+	const users, rounds, k, seed = 4, 8, 4, 27
+	trajs := crossingTrajectories(users)
+	w := buildWorld(t, 55, users, rounds, trajs)
+	deg := degrade(t, w, fault.Config{LossProb: 0.2, DelayProb: 0.2, DelayRounds: 2}, 808)
+
+	build := func() *shard.Field {
+		f, err := shard.New(shard.Config{
+			Model:            w.sc.Model(),
+			SamplePoints:     w.points,
+			NumUsers:         users,
+			Grid:             shard.Grid{Rows: 2, Cols: 2, Halo: 2},
+			Tracker:          smc.Config{N: 150, M: 6},
+			InitialPositions: w.truths[0],
+		}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	step := func(f *shard.Field, from, to int) []smc.StepResult {
+		var out []smc.StepResult
+		for r := from; r < to; r++ {
+			d := deg[r]
+			res, err := f.StepMasked(float64(r+1), d.Readings, d.Present, d.Age)
+			if err != nil {
+				t.Fatalf("round %d: %v", r, err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+
+	base := build()
+	want := outcomeOf(base, step(base, 0, rounds), users)
+
+	orig := build()
+	head := step(orig, 0, k)
+	st := orig.ExportState()
+	// Export must leave the source field untouched.
+	origOut := outcomeOf(orig, append(head, step(orig, k, rounds)...), users)
+	if !reflect.DeepEqual(origOut, want) {
+		t.Fatal("ExportState perturbed the exporting field")
+	}
+
+	fresh := build()
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	got := outcomeOf(fresh, append(append([]smc.StepResult(nil), head...), step(fresh, k, rounds)...), users)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("restored field diverged from the uninterrupted run")
+	}
+}
+
+// TestFieldRestoreValidation pins the coordinator-level mismatch rejections.
+func TestFieldRestoreValidation(t *testing.T) {
+	const users = 3
+	w := buildWorld(t, 61, users, 2, nil)
+	build := func(grid shard.Grid, seed uint64) *shard.Field {
+		f, err := shard.New(shard.Config{
+			Model: w.sc.Model(), SamplePoints: w.points, NumUsers: users,
+			Grid: grid, Tracker: smc.Config{N: 60, M: 5},
+		}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	f := build(shard.Grid{Rows: 2, Cols: 2, Halo: 2}, 7)
+	if _, err := f.Step(1, w.obs[0]); err != nil {
+		t.Fatal(err)
+	}
+	st := f.ExportState()
+
+	if err := build(shard.Grid{Rows: 2, Cols: 2, Halo: 2}, 8).RestoreState(st); err == nil {
+		t.Error("restore across seeds accepted")
+	}
+	if err := build(shard.Grid{Rows: 1, Cols: 2, Halo: 2}, 7).RestoreState(st); err == nil {
+		t.Error("restore across grids accepted")
+	}
+	bad := st
+	bad.Owner = append([]int(nil), st.Owner...)
+	bad.Owner[0] = 99
+	if err := build(shard.Grid{Rows: 2, Cols: 2, Halo: 2}, 7).RestoreState(bad); err == nil {
+		t.Error("out-of-range owner accepted")
+	}
+	bad = st
+	bad.Spills = -1
+	if err := build(shard.Grid{Rows: 2, Cols: 2, Halo: 2}, 7).RestoreState(bad); err == nil {
+		t.Error("negative spill counter accepted")
+	}
+}
