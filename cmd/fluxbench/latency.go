@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"fluxtrack/internal/core"
+	"fluxtrack/internal/exp"
 	"fluxtrack/internal/fingerprint"
+	"fluxtrack/internal/fit"
 	"fluxtrack/internal/geom"
 	"fluxtrack/internal/mobility"
 	"fluxtrack/internal/obs"
@@ -37,6 +39,8 @@ type latencyReport struct {
 	Halo       float64        `json:"halo,omitempty"`
 	CoarseTopK int            `json:"coarse_topk,omitempty"`
 	CoarseGrid int            `json:"coarse_grid,omitempty"`
+	Liars      float64        `json:"liars,omitempty"`  // Byzantine sensor fraction, 0 = all honest
+	Robust     string         `json:"robust,omitempty"` // robust-fit defense mode, "" = off
 	GOMAXPROCS int            `json:"gomaxprocs"`
 	GoVersion  string         `json:"go_version"`
 	Entries    []latencyEntry `json:"entries"`
@@ -99,8 +103,18 @@ func runLatency(args []string) error {
 		coarse  = fs.Bool("coarse", false, "shortlist candidates through the coarse-to-fine fingerprint search")
 		coarseK = fs.Int("coarsek", 0, "coarse shortlist size per user (0 = default 64; implies -coarse)")
 		coarseG = fs.Int("coarsegrid", 0, "fingerprint grid resolution per axis (0 = default 24; implies -coarse)")
+		liars   = fs.Float64("liars", 0, "fraction of Byzantine sensors (half inflate, a quarter deflate, a quarter replay)")
+		robust  = fs.String("robust", "", "robust-fit defense: off, huber, loso, or both")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	robustMode, err := fit.ParseRobustMode(*robust)
+	if err != nil {
+		return err
+	}
+	advCfg := exp.LiarMix(*liars)
+	if err := advCfg.Validate(); err != nil {
 		return err
 	}
 	workerCounts, err := parseWorkerList(*list)
@@ -149,12 +163,32 @@ func runLatency(args []string) error {
 		}
 		observations[r] = o
 	}
+	// Tamper the precomputed stream once, outside the timed region: the
+	// adversary's cost is the attacker's problem; what the entries measure is
+	// what the *defense* adds to the tracker step.
+	if *liars > 0 {
+		adv, err := sniffer.NewAdversary(advCfg, src.Uint64())
+		if err != nil {
+			return err
+		}
+		for r, o := range observations {
+			tampered, err := adv.Apply(o)
+			if err != nil {
+				return err
+			}
+			observations[r] = tampered
+		}
+	}
 
 	report := latencyReport{
 		Users: *users, TrackN: *trackN, Samples: *samples,
 		Rounds: *rounds, Repeats: *repeats, Seed: *seed, Halo: *halo,
+		Liars:      *liars,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
+	}
+	if robustMode != fit.RobustOff {
+		report.Robust = robustMode.String()
 	}
 	var ccfg fingerprint.CoarseConfig
 	var cache *fingerprint.Cache
@@ -188,6 +222,7 @@ func runLatency(args []string) error {
 			for rep := 0; rep < *repeats; rep++ {
 				field, err := sniffer.NewShardedTracker(*users, core.TrackerConfig{
 					N: *trackN, M: 10, VMax: 5, Workers: workers,
+					Search: fit.Options{Robust: fit.RobustConfig{Mode: robustMode}},
 					Coarse: ccfg, DBCache: cache,
 					Shards: grid, InitialPositions: starts, Trace: trace,
 				}, *seed+101)

@@ -17,6 +17,13 @@
 //	fluxbench -exp fig7 -dropout 0.2            # 20% of sensors fail permanently
 //	fluxbench -exp fig8a -loss 0.3 -delay 0.2   # lossy + delayed reports
 //
+// Byzantine sensors and robust defenses (see fault.Adversary and
+// fit.RobustConfig; figByzantine sweeps the cross product built-in):
+//
+//	fluxbench -exp fig7 -liars 0.1               # 10% of sensors lie (inflate/deflate/replay mix)
+//	fluxbench -exp fig7 -liars 0.1 -robust huber # same attack, Huber-IRLS defended fit
+//	fluxbench -quick -robust both                # LOSO + Huber defense on clean data (cost check)
+//
 // Observability (see internal/obs; enabling it never changes a table):
 //
 //	fluxbench -quick -metrics                    # print merged work counters + latency histograms
@@ -89,6 +96,7 @@ import (
 	"fluxtrack/internal/exp"
 	"fluxtrack/internal/fault"
 	"fluxtrack/internal/fingerprint"
+	"fluxtrack/internal/fit"
 	"fluxtrack/internal/obs"
 	"fluxtrack/internal/plot"
 	"fluxtrack/internal/shard"
@@ -108,6 +116,8 @@ type benchReport struct {
 	CoarseGrid   int               `json:"coarse_grid,omitempty"`
 	Shards       string            `json:"shards,omitempty"` // RxC tile grid, "" = unsharded
 	Halo         float64           `json:"halo,omitempty"`   // tile halo width for Shards
+	Liars        float64           `json:"liars,omitempty"`  // Byzantine sensor fraction, 0 = all honest
+	Robust       string            `json:"robust,omitempty"` // robust-fit defense mode, "" = off
 	GOMAXPROCS   int               `json:"gomaxprocs"`
 	GoVersion    string            `json:"go_version"`
 	Experiments  []benchExperiment `json:"experiments"`
@@ -170,6 +180,8 @@ func run(args []string) error {
 		delayP  = fs.Float64("delay", 0, "per-round probability a report is delayed")
 		delayR  = fs.Int("delayrounds", 0, "rounds a delayed report is late (0 = default 2)")
 		stuck   = fs.Float64("stuck", 0, "fraction of sensors with frozen readings")
+		liars   = fs.Float64("liars", 0, "fraction of Byzantine sensors (half inflate, a quarter deflate, a quarter replay)")
+		robust  = fs.String("robust", "", "robust-fit defense: off, huber, loso, or both")
 		chart   = fs.Bool("chart", false, "render an ASCII bar chart per table column")
 		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -247,6 +259,15 @@ func run(args []string) error {
 	if err := cfg.Fault.Validate(); err != nil {
 		return err
 	}
+	cfg.Adversary = exp.LiarMix(*liars)
+	if err := cfg.Adversary.Validate(); err != nil {
+		return err
+	}
+	robustMode, err := fit.ParseRobustMode(*robust)
+	if err != nil {
+		return err
+	}
+	cfg.Robust = fit.RobustConfig{Mode: robustMode}
 	if *coarse || *coarseK > 0 || *coarseG > 0 {
 		cfg.Coarse = fingerprint.CoarseConfig{Enabled: true, TopK: *coarseK, GridRes: *coarseG}.WithDefaults()
 		// One cache for the whole run: trials of a cell and tiles of a
@@ -296,7 +317,11 @@ func run(args []string) error {
 		CoarseGrid: cfg.Coarse.GridRes,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Halo:       cfg.Shards.Halo,
+		Liars:      *liars,
 		GoVersion:  runtime.Version(),
+	}
+	if robustMode != fit.RobustOff {
+		report.Robust = robustMode.String()
 	}
 	if *quick {
 		report.Config = "quick"

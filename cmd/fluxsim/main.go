@@ -8,6 +8,8 @@
 //	fluxsim -users 2 -deploy random -noise 0.1
 //	fluxsim -users 3 -workers 4   # parallel candidate scoring, same output
 //	fluxsim -users 2 -dropout 0.2 -loss 0.1   # localize from a degraded sniff
+//	fluxsim -users 2 -liars 0.1               # 10% of sniffed sensors lie
+//	fluxsim -users 2 -liars 0.1 -robust huber # same attack, robust-fit defense
 //	fluxsim -users 3 -metrics     # print the run's work counters at exit
 //	fluxsim -users 3 -coarse -coarsek 64      # coarse-to-fine candidate shortlist
 //	fluxsim -users 4 -shards 2x2 -halo 2      # tiled tracking demo with handoff log
@@ -21,6 +23,7 @@ import (
 
 	"fluxtrack/internal/core"
 	"fluxtrack/internal/deploy"
+	"fluxtrack/internal/exp"
 	"fluxtrack/internal/fault"
 	"fluxtrack/internal/fingerprint"
 	"fluxtrack/internal/fit"
@@ -52,6 +55,8 @@ func run(args []string) error {
 		dropout = fs.Float64("dropout", 0, "fraction of sniffed sensors that fail permanently")
 		loss    = fs.Float64("loss", 0, "probability each report is lost this round")
 		stuck   = fs.Float64("stuck", 0, "fraction of sniffed sensors with frozen readings")
+		liars   = fs.Float64("liars", 0, "fraction of Byzantine sensors (half inflate, a quarter deflate, a quarter replay)")
+		robust  = fs.String("robust", "", "robust-fit defense: off, huber, loso, or both")
 		metrics = fs.Bool("metrics", false, "collect work counters (traffic, fault, NLS search) and print the snapshot at exit")
 		coarse  = fs.Bool("coarse", false, "shortlist candidates through the coarse-to-fine fingerprint search")
 		coarseK = fs.Int("coarsek", 0, "coarse shortlist size per user (0 = default 64; implies -coarse)")
@@ -106,7 +111,12 @@ func run(args []string) error {
 	if err := faultCfg.Validate(); err != nil {
 		return err
 	}
-	opts := fit.Options{Samples: *samples, TopM: 10, Workers: *workers, Metrics: met}
+	robustMode, err := fit.ParseRobustMode(*robust)
+	if err != nil {
+		return err
+	}
+	opts := fit.Options{Samples: *samples, TopM: 10, Workers: *workers, Metrics: met,
+		Robust: fit.RobustConfig{Mode: robustMode}}
 	var ccfg fingerprint.CoarseConfig
 	if *coarse || *coarseK > 0 || *coarseG > 0 {
 		ccfg = fingerprint.CoarseConfig{Enabled: true, TopK: *coarseK, GridRes: *coarseG}.WithDefaults()
@@ -118,6 +128,24 @@ func run(args []string) error {
 		fmt.Printf("\ncoarse search: %d fingerprint cells (grid %d), shortlist %d of %d candidates per user\n",
 			db.Cells(), db.Res(), ccfg.TopK, *samples)
 	}
+	readings, err := sniffer.Observe(userSet, *noise, src)
+	if err != nil {
+		return err
+	}
+	if *liars > 0 {
+		advCfg := exp.LiarMix(*liars)
+		adv, err := sniffer.NewAdversary(advCfg, src.Uint64())
+		if err != nil {
+			return err
+		}
+		adv.SetMetrics(met)
+		readings, err = adv.Apply(readings)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nbyzantine: %d of %d sniffed sensors compromised (defense: %s)\n",
+			adv.NumCompromised(), len(readings), robustMode)
+	}
 	var res fit.Result
 	if faultCfg.Enabled() {
 		inj, err := sniffer.NewFaultInjector(faultCfg, src.Uint64())
@@ -125,7 +153,7 @@ func run(args []string) error {
 			return err
 		}
 		inj.SetMetrics(met)
-		deg, err := sniffer.ObserveDegraded(userSet, *noise, inj, src)
+		deg, err := inj.Apply(readings)
 		if err != nil {
 			return err
 		}
@@ -135,10 +163,11 @@ func run(args []string) error {
 			return err
 		}
 	} else {
-		if _, err := sniffer.Observe(userSet, *noise, src); err != nil {
+		prob, err := sniffer.Problem(readings)
+		if err != nil {
 			return err
 		}
-		res, err = sniffer.Localize(*users, opts, src)
+		res, err = fit.Localize(prob, *users, opts, src)
 		if err != nil {
 			return err
 		}

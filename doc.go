@@ -32,7 +32,10 @@
 //	brief      full-map recursive briefing baseline (§3.C)
 //	smc        Algorithm 4.1 SMC tracker (+ active sets, heading)
 //	ekf        Extended Kalman Filter baseline tracker
-//	fault      deterministic fault injection (dropout, loss, delay)
+//	fault      deterministic fault injection + Byzantine adversary
+//	fingerprint coarse-to-fine fingerprint candidate search
+//	shard      tiled multi-shard tracking with cross-tile handoff
+//	serve      resident multi-tenant tracking service (fluxserve)
 //	sim        packet-level discrete-event collection simulator
 //	mobility   trajectories and speed-bounded walks
 //	trace      synthetic campus traces + syslog parser
@@ -68,6 +71,13 @@
 //	                countermeasures, noise, EKF baseline, heading,
 //	                packet-level realism, aggregation defense
 //	—    figRobust  tracking under degraded sensing (internal/fault)
+//	E12  figCoarse  coarse-to-fine shortlist agreement + cost
+//	E13  figShard   tiled tracking: seams, halos, per-tile work
+//	E14  —          shard scale-out: skewed 10⁴–10⁵-user populations
+//	E15  —          resident serving: step latency vs tenant count
+//	E16  figByzantine  Byzantine sensors × robust-fit defenses
+//	A4   countermeasure  traffic shaping (dummy flux + route
+//	                randomization) vs attacker accuracy
 //
 // Run `fluxbench -list` for the exact registered ids and one-line notes;
 // EXPERIMENTS.md records paper-reported vs measured shapes for each.

@@ -1,108 +1,57 @@
-// Countermeasure: the defense sketched in the paper's future work (§6) —
-// reshape the network traffic with dummy flux so the fingerprint blurs.
+// Countermeasure: the defenses sketched in the paper's future work (§6) —
+// reshape the network's traffic so the fingerprint the attacker fits
+// against no longer matches reality.
 //
-// Every node injects uniform dummy traffic; the example sweeps the dummy
-// amplitude and shows the attack's localization error climbing toward the
-// random-guess baseline, quantifying how much cover traffic privacy costs.
+// The example drives the registered "countermeasure" experiment (see
+// internal/exp), which sweeps two defense knobs: dummy-traffic injection
+// (every node adds uniform dummy flux up to a multiple of the mean per-node
+// flux) and route randomization (nodes deviate from the nearest
+// closer-to-sink parent with probability p, so subtree sizes — and the flux
+// shape — drift from the shortest-path trees the attacker's model was
+// calibrated on). Rows where the attacker's error climbs toward the
+// random-guess baseline (~11.7 on the 30x30 field) mark defenses that buy
+// privacy, at proportional energy or latency cost.
 //
 // Run with: go run ./examples/countermeasure
+// Flags scale effort: -trials, -samples, -seed, -workers.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
-	"fluxtrack/internal/core"
-	"fluxtrack/internal/fit"
-	"fluxtrack/internal/geom"
-	"fluxtrack/internal/rng"
-	"fluxtrack/internal/traffic"
+	"fluxtrack/internal/exp"
 )
 
 func main() {
-	if err := run(); err != nil {
+	trials := flag.Int("trials", 3, "trials per defense cell")
+	samples := flag.Int("samples", 2000, "candidate positions per user in the search")
+	seed := flag.Uint64("seed", 1, "base seed")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = one per CPU)")
+	flag.Parse()
+
+	if err := run(*trials, *samples, *seed, *workers); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	src := rng.New(31)
-	scenario, err := core.NewScenario(core.ScenarioConfig{}, src)
+func run(trials, samples int, seed uint64, workers int) error {
+	e, err := exp.ByID("countermeasure")
 	if err != nil {
 		return err
 	}
-	users := traffic.RandomUsers(scenario.Field(), 2, 1, 3, src)
-	flux, err := scenario.GroundFlux(users)
+	cfg := exp.QuickConfig()
+	cfg.Seed = seed
+	cfg.Trials = trials
+	cfg.Samples = samples
+	cfg.Workers = workers
+	table, err := e.Run(cfg)
 	if err != nil {
 		return err
 	}
-	var meanFlux float64
-	for _, f := range flux {
-		meanFlux += f
-	}
-	meanFlux /= float64(len(flux))
-
-	nodes, err := traffic.PickSamplingNodes(scenario.Network(), 90, src)
-	if err != nil {
-		return err
-	}
-	points := make([]geom.Point, len(nodes))
-	for i, n := range nodes {
-		points[i] = scenario.Network().Pos(n)
-	}
-	truths := []geom.Point{users[0].Pos, users[1].Pos}
-
-	fmt.Println("two users, 10% sniffing; dummy traffic per node ~ U[0, amplitude]")
-	fmt.Println("amplitude(x mean flux) | mean localization error")
-	for _, amp := range []float64{0, 0.5, 1, 2, 4, 8} {
-		shaped := flux
-		if amp > 0 {
-			shaped = traffic.Reshape(flux, amp*meanFlux, src)
-		}
-		meas, err := traffic.Sample(shaped, nodes)
-		if err != nil {
-			return err
-		}
-		prob, err := fit.NewProblem(scenario.Model(), points, meas.Flux)
-		if err != nil {
-			return err
-		}
-		res, err := fit.Localize(prob, 2, fit.Options{Samples: 2000, TopM: 10}, src)
-		if err != nil {
-			return err
-		}
-		errMean := matchedMean(res.Best[0].Positions, truths)
-		fmt.Printf("%22.1f | %.2f\n", amp, errMean)
-	}
-	fmt.Println("\nrandom-guess baseline on a 30x30 field is ~11.7; amplitudes that push")
-	fmt.Println("the error toward it buy privacy at proportional energy cost.")
+	fmt.Print(table.Render())
+	fmt.Println("\nrandom-guess baseline on the 30x30 field is ~11.7; defenses that push")
+	fmt.Println("the attacker's error toward it buy privacy at proportional cost.")
 	return nil
-}
-
-func matchedMean(ests, truths []geom.Point) float64 {
-	used := make([]bool, len(truths))
-	var sum float64
-	var n int
-	for _, est := range ests {
-		best, bestD := -1, 0.0
-		for j, tr := range truths {
-			if used[j] {
-				continue
-			}
-			d := est.Dist(tr)
-			if best < 0 || d < bestD {
-				best, bestD = j, d
-			}
-		}
-		if best < 0 {
-			break
-		}
-		used[best] = true
-		sum += bestD
-		n++
-	}
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
 }

@@ -223,6 +223,16 @@ func (sn *Sniffer) NewFaultInjector(cfg fault.Config, seed uint64) (*fault.Injec
 	return fault.NewInjector(cfg, len(sn.nodes), seed)
 }
 
+// NewAdversary builds a Byzantine adversary over this sniffer's monitored
+// nodes (the colluding-coalition behavior needs their positions). Tampered
+// readings compose with a fault injector by applying the adversary first —
+// a compromised sensor's report can still be lost or delayed downstream.
+// Seed it from the trial's seed stream; which sensors lie is then a pure
+// function of that seed (see fault.Adversary).
+func (sn *Sniffer) NewAdversary(cfg fault.AdversaryConfig, seed uint64) (*fault.Adversary, error) {
+	return fault.NewAdversary(cfg, sn.points, seed)
+}
+
 // ObserveDegraded is Observe followed by one fault-injection round: the
 // users' flux is measured as usual, then the injector decides which reports
 // actually reach the adversary this round, which are delayed (Age > 0), and
@@ -290,9 +300,14 @@ func (sn *Sniffer) Localize(numUsers int, opts fit.Options, src *rng.Source) (fi
 // TrackerConfig tunes a tracker created by NewTracker. Zero values take the
 // paper's defaults (N=1000, M=10, VMax=5).
 type TrackerConfig struct {
-	N                 int
-	M                 int
-	VMax              float64
+	N    int
+	M    int
+	VMax float64
+	// Search configures the tracker's inner candidate search, including the
+	// robust-fitting defense against Byzantine sensors: setting
+	// Search.Robust.Mode (huber, loso, or both) makes every Step/StepMasked
+	// round derive per-sensor trust multipliers from the fit's own residuals
+	// and re-rank on the reweighted problem (see fit.RobustConfig).
 	Search            fit.Options
 	UniformWeights    bool // disable §4.D importance weighting (ablation)
 	ActiveSetLimit    int  // cap on users searched per round (§5.C regime)

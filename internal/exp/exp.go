@@ -97,6 +97,19 @@ type Config struct {
 	// injector seeded from the trial seed, so fault patterns are byte-stable
 	// at any worker count like everything else in this package.
 	Fault fault.Config
+	// Adversary compromises a deterministic subset of each tracking trial's
+	// sensors with Byzantine behaviors — inflated, deflated, or replayed
+	// readings and colluding coalitions (see fault.AdversaryConfig).
+	// Tampering happens upstream of the Fault injector, so a liar's report
+	// can still be lost or delayed. The zero value keeps every sensor
+	// honest. Each trial gets its own adversary seeded from the trial seed,
+	// so the compromised set is byte-stable at any worker count.
+	Adversary fault.AdversaryConfig
+	// Robust arms the robust-fitting defense in every localization and
+	// tracker search (fit.Options.Robust): per-sensor trust multipliers
+	// derived from Huber or leave-one-sensor-out residual checks, re-ranking
+	// on the reweighted problem. The zero value keeps the undefended fit.
+	Robust fit.RobustConfig
 	// Coarse, when Enabled, switches every tracking trial to the
 	// coarse-to-fine candidate search: each trial's tracker precomputes a
 	// fingerprint database over its sniffer's nodes and shortlists TopK
@@ -175,13 +188,14 @@ func (c Config) withDefaults() Config {
 // carrying the Workers knob into the inner candidate-scoring loops (the
 // hottest loop of instant localization at the paper's Samples=10000).
 func (c Config) searchOpts(samples int, seed uint64) fit.Options {
-	return fit.Options{Samples: samples, TopM: 10, Seed: seed, Workers: c.Workers, Metrics: c.Metrics}
+	return fit.Options{Samples: samples, TopM: 10, Seed: seed, Workers: c.Workers, Metrics: c.Metrics, Robust: c.Robust}
 }
 
 // trackerSearch builds the inner-search options for the SMC tracker,
-// bounded by the same Workers knob as the trial pool.
+// bounded by the same Workers knob as the trial pool and carrying the
+// robust-defense mode into every tracker round.
 func (c Config) trackerSearch() fit.Options {
-	return fit.Options{Workers: c.Workers, Metrics: c.Metrics}
+	return fit.Options{Workers: c.Workers, Metrics: c.Metrics, Robust: c.Robust}
 }
 
 // trialSeed derives a deterministic seed for one (experiment, cell, trial)

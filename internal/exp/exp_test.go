@@ -78,8 +78,8 @@ func TestMatchErrors(t *testing.T) {
 
 func TestRegistryAllAndByID(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("registry has %d experiments, want 23", len(all))
+	if len(all) != 24 {
+		t.Fatalf("registry has %d experiments, want 24", len(all))
 	}
 	ids := map[string]bool{}
 	for _, e := range all {

@@ -251,28 +251,57 @@ func AblationSearch(cfg Config) (Table, error) {
 	return t, nil
 }
 
-// Countermeasure evaluates the traffic-reshaping defense sketched in the
-// paper's future work (§6): every node injects uniform dummy flux; the
-// table reports how the localization error grows with the dummy amplitude
-// (expressed as a multiple of the network's mean per-node flux).
+// Countermeasure evaluates the traffic-shaping defenses sketched in the
+// paper's future work (§6) against the fingerprint attack, from the
+// network's point of view (the attacker is the adversary here). Two knobs:
+// dummy-traffic injection — every node adds uniform dummy flux up to a
+// multiple of the network's mean per-node flux (traffic.Reshape) — and
+// route randomization — nodes deviate from the nearest closer parent with
+// probability p (routing.BuildRandomized via Simulator.SetRouteJitter), so
+// the flux fingerprint no longer matches the shortest-path shape the
+// attacker's model was calibrated on. The table reports attacker
+// localization error per defense, including a combined cell; higher error
+// means a better defense at that cost point.
 func Countermeasure(cfg Config) (Table, error) {
 	cfg = cfg.withDefaults()
 	t := Table{
 		ID:      "countermeasure",
-		Title:   "Localization error vs dummy-traffic amplitude (2 users, 10% sampling)",
+		Title:   "Attacker localization error vs traffic-shaping defense (2 users, 10% sampling)",
 		Paper:   "n/a (future-work extension: reshaping should defeat the fingerprint)",
-		Columns: []string{"dummy_amplitude(x mean flux)", "mean_err", "median_err"},
+		Columns: []string{"defense", "mean_err", "median_err"},
 	}
-	amps := []float64{0, 0.5, 1, 2, 4}
-	cells := make([]int, len(amps))
-	for i, amp := range amps {
-		cells[i] = int(amp * 10)
+	specs := []struct {
+		label       string
+		amp, jitter float64
+	}{
+		{"none", 0, 0},
+		{"dummy x0.5", 0.5, 0},
+		{"dummy x1.0", 1, 0},
+		{"dummy x2.0", 2, 0},
+		{"dummy x4.0", 4, 0},
+		{"route p=0.25", 0, 0.25},
+		{"route p=0.50", 0, 0.5},
+		{"route p=1.00", 0, 1},
+		{"dummy x1.0 + route p=0.50", 1, 0.5},
+	}
+	cells := make([]int, len(specs))
+	for i, sp := range specs {
+		// Dummy-only cells keep the ids of the original amplitude sweep so
+		// their trial seeds (and rows) are unchanged; route cells extend the
+		// id space without collisions.
+		cells[i] = int(sp.amp*10) + int(sp.jitter*1000)
 	}
 	res, err := runCells(cfg, "counter", cells, func(ci, trial int, seed uint64) ([]float64, error) {
-		amp := amps[ci]
+		amp, jitter := specs[ci].amp, specs[ci].jitter
 		sc := cfg.scenario(defaultScenarioCfg(), seed)
 		src := rng.New(seed + 17)
 		users := traffic.RandomUsers(sc.Field(), 2, 1, 3, src)
+		if jitter > 0 {
+			// The defense re-routes the real network; the attacker's model
+			// (calibrated on nearest-parent trees) is left untouched — the
+			// mismatch IS the countermeasure.
+			sc.Simulator().SetRouteJitter(jitter, seed^0x5eed5eed)
+		}
 		flux, err := sc.GroundFlux(users)
 		if err != nil {
 			return nil, err
@@ -311,13 +340,13 @@ func Countermeasure(cfg Config) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
-	for ci, amp := range amps {
+	for ci, sp := range specs {
 		var errs []float64
 		for _, es := range res[ci] {
 			errs = append(errs, es...)
 		}
 		t.Rows = append(t.Rows, []string{
-			f2(amp), f2(stats.Mean(errs)), f2(stats.Median(errs)),
+			sp.label, f2(stats.Mean(errs)), f2(stats.Median(errs)),
 		})
 	}
 	return t, nil

@@ -24,6 +24,10 @@ import (
 // are deflated by their staleness, and a round where nothing is delivered
 // (smc.ErrAllMasked) carries the previous estimates forward — degraded, not
 // broken.
+//
+// When cfg.Adversary is enabled a deterministic subset of sensors lies
+// before the injector runs (inflate, deflate, replay, coalition — see
+// fault.Adversary), and cfg.Robust arms the fit-layer defense against them.
 func trackTrial(cfg Config, sc *core.Scenario, trajectories []mobility.Trajectory,
 	sampleCount int, vmax float64, uniformWeights bool, src *rng.Source) ([]float64, error) {
 	sniffer, err := sc.NewSnifferCount(sampleCount, src)
@@ -66,6 +70,15 @@ func trackTrial(cfg Config, sc *core.Scenario, trajectories []mobility.Trajector
 		}
 		inj.SetMetrics(cfg.Metrics)
 	}
+	// Same gating for the adversary seed: honest trials keep their streams.
+	var adv *fault.Adversary
+	if cfg.Adversary.Enabled() {
+		adv, err = sniffer.NewAdversary(cfg.Adversary, src.Uint64())
+		if err != nil {
+			return nil, err
+		}
+		adv.SetMetrics(cfg.Metrics)
+	}
 	// Estimates persist across rounds so a fully masked round scores the
 	// previous round's belief; before any round succeeds, the best
 	// uninformed guess is the field center.
@@ -83,6 +96,14 @@ func trackTrial(cfg Config, sc *core.Scenario, trajectories []mobility.Trajector
 		obs, err := sniffer.Observe(activeUsers(truths, stretches), 0, src)
 		if err != nil {
 			return nil, err
+		}
+		// Byzantine sensors tamper before any benign degradation: a liar's
+		// report can still be dropped or delayed by the injector downstream.
+		if adv != nil {
+			obs, err = adv.Apply(obs)
+			if err != nil {
+				return nil, err
+			}
 		}
 		var res smc.StepResult
 		if inj == nil {

@@ -16,6 +16,14 @@
 //   - stuck readings: a sensor keeps reporting its first observed value
 //     forever (saturated counter, frozen firmware) — present but lying.
 //
+// Beyond benign degradation, the package also models malice: the Adversary
+// (adversary.go) compromises a deterministic subset of sensors with
+// Byzantine behaviors — readings inflated or deflated by a factor, replays
+// of the sensor's own earlier truth, and colluding coalitions that bias a
+// whole region coherently. Tampering composes with the Injector (tamper
+// first, then degrade), and the defense side lives in internal/fit's robust
+// fitting options.
+//
 // Every draw comes from a dedicated splitmix64-finalizer substream keyed by
 // (seed, round, sensor, fault kind), never from a shared sequential stream:
 // which faults fire is a pure function of the injector seed and the round

@@ -193,6 +193,15 @@ type Options struct {
 	// before the exact Gram/NNLS ranking runs (see coarse.go and
 	// internal/fingerprint). Nil runs the exact search over all candidates.
 	Coarse *Coarse
+	// Robust, when its Mode is set, arms the robust-fitting defense against
+	// lying sensors (see robust.go): the search runs twice, deriving
+	// per-sensor trust multipliers from the first pass's residuals (Huber
+	// IRLS weights, leave-one-sensor-out flags, or both) and re-ranking on
+	// the reweighted problem. The zero value keeps the plain single-pass
+	// search. Robust searches remain deterministic and worker-count
+	// invariant — the reweighting is a serial, pure function of the pass-1
+	// result.
+	Robust RobustConfig
 }
 
 func (o Options) withDefaults() Options {

@@ -74,6 +74,11 @@ type searchMetrics struct {
 	knnProbes    *obs.Counter // fit.coarse.knn_probes: candidate→cell lookups
 	shortlisted  *obs.Counter // fit.coarse.shortlist: candidates surviving the prestage
 	exactAvoided *obs.Counter // fit.coarse.exact_avoided: candidates the exact stage skipped
+
+	// Robust-defense counters, only advanced when Options.Robust is armed.
+	robustPasses  *obs.Counter // fit.robust.passes: robust searches run
+	robustApplied *obs.Counter // fit.robust.applied: searches that actually reweighted
+	robustFlagged *obs.Counter // fit.robust.flagged: sensors LOSO down-weighted
 }
 
 // SetMetrics binds (or, with nil, unbinds) the Searcher's work counters.
@@ -89,14 +94,17 @@ func (s *Searcher) SetMetrics(m *obs.Metrics) {
 		return
 	}
 	s.met = searchMetrics{
-		m:            m,
-		calls:        m.Counter("fit.search.calls"),
-		columns:      m.Counter("fit.search.columns"),
-		solves:       m.Counter("fit.nnls.solves"),
-		iters:        m.Counter("fit.nnls.iters"),
-		knnProbes:    m.Counter("fit.coarse.knn_probes"),
-		shortlisted:  m.Counter("fit.coarse.shortlist"),
-		exactAvoided: m.Counter("fit.coarse.exact_avoided"),
+		m:             m,
+		calls:         m.Counter("fit.search.calls"),
+		columns:       m.Counter("fit.search.columns"),
+		solves:        m.Counter("fit.nnls.solves"),
+		iters:         m.Counter("fit.nnls.iters"),
+		knnProbes:     m.Counter("fit.coarse.knn_probes"),
+		shortlisted:   m.Counter("fit.coarse.shortlist"),
+		exactAvoided:  m.Counter("fit.coarse.exact_avoided"),
+		robustPasses:  m.Counter("fit.robust.passes"),
+		robustApplied: m.Counter("fit.robust.applied"),
+		robustFlagged: m.Counter("fit.robust.flagged"),
 	}
 }
 
@@ -202,6 +210,9 @@ func (s *Searcher) Search(p *Problem, candidates [][]geom.Point, opts Options) (
 		s.met.calls.Inc(0)
 		solves0, iters0 = s.WorkTotals()
 		defer func() { s.recordWork(solves0, iters0) }()
+	}
+	if opts.Robust.Enabled() {
+		return s.searchRobust(p, candidates, opts)
 	}
 	if opts.Coarse != nil {
 		return s.searchCoarse(p, candidates, opts)

@@ -67,6 +67,77 @@ func Build(n *network.Network, root int) (*Tree, error) {
 	return t, nil
 }
 
+// BuildRandomized constructs a collection tree like Build, but each node,
+// with probability jitter, picks its parent uniformly among all neighbors
+// one hop closer to the root instead of the geometrically nearest one. This
+// is the route-randomization countermeasure of the paper's §6 future work:
+// the tree stays shortest-path (hop counts are unchanged, so latency is
+// preserved), but subtree sizes — and with them the flux fingerprint the
+// adversary's model is calibrated against — deviate from the nearest-parent
+// shape the attacker assumes.
+//
+// Every choice is a pure hash of (seed, root, node), never a shared stream,
+// so a given (network, root, jitter, seed) always yields the same tree
+// regardless of build order or worker count. jitter <= 0 reduces exactly to
+// Build; jitter >= 1 randomizes every parent choice.
+func BuildRandomized(n *network.Network, root int, jitter float64, seed uint64) (*Tree, error) {
+	if jitter <= 0 {
+		return Build(n, root)
+	}
+	if root < 0 || root >= n.Len() {
+		return nil, fmt.Errorf("routing: root %d out of range [0, %d)", root, n.Len())
+	}
+	hops := n.HopsFrom(root)
+	parent := make([]int, n.Len())
+	for i := range parent {
+		parent[i] = -1
+	}
+	var closer []int
+	for i := 0; i < n.Len(); i++ {
+		if i == root || hops[i] < 0 {
+			continue
+		}
+		closer = closer[:0]
+		best := -1
+		var bestDist float64
+		for _, j := range n.Neighbors(i) {
+			if hops[j] != hops[i]-1 {
+				continue
+			}
+			closer = append(closer, int(j))
+			d := n.Pos(i).Dist(n.Pos(int(j)))
+			if best < 0 || d < bestDist || (d == bestDist && int(j) < best) {
+				best, bestDist = int(j), d
+			}
+		}
+		if len(closer) > 1 && routeDraw(seed, root, i, 0) < jitter {
+			sort.Ints(closer)
+			best = closer[int(routeDraw(seed, root, i, 1)*float64(len(closer)))]
+		}
+		parent[i] = best
+	}
+	t := &Tree{Root: root, Parent: parent, Hops: hops}
+	t.computeSubtreeSizes()
+	return t, nil
+}
+
+// routeMix is the splitmix64 finalizer used for the randomized parent
+// choices (the same hash discipline as internal/fault's deterministic
+// draws: position-keyed, stream-free).
+func routeMix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// routeDraw returns a uniform [0, 1) draw keyed purely by
+// (seed, root, node, salt).
+func routeDraw(seed uint64, root, node, salt int) float64 {
+	z := routeMix(seed ^ routeMix(uint64(root)+0x51ed27) ^ routeMix(uint64(node)<<8|uint64(salt)))
+	return float64(z>>11) / (1 << 53)
+}
+
 // computeSubtreeSizes accumulates subtree sizes leaf-to-root by processing
 // nodes in decreasing hop order.
 func (t *Tree) computeSubtreeSizes() {

@@ -222,3 +222,108 @@ func BenchmarkBuild900(b *testing.B) {
 		}
 	}
 }
+
+// treeInvariants asserts the structural contract every aggregation tree must
+// satisfy regardless of how parents were chosen.
+func treeInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	if tr.SubtreeSize[tr.Root] != tr.Reached() {
+		t.Errorf("root subtree %d != reached %d", tr.SubtreeSize[tr.Root], tr.Reached())
+	}
+	for i := range tr.Parent {
+		if i == tr.Root || tr.Hops[i] < 0 {
+			continue
+		}
+		p := tr.Parent[i]
+		if p < 0 {
+			t.Fatalf("reached node %d has no parent", i)
+		}
+		if tr.Hops[p] != tr.Hops[i]-1 {
+			t.Fatalf("node %d (hops %d) has parent %d (hops %d)", i, tr.Hops[i], p, tr.Hops[p])
+		}
+	}
+	for i, p := range tr.Parent {
+		if p >= 0 && tr.SubtreeSize[p] <= tr.SubtreeSize[i] {
+			t.Fatalf("subtree monotonicity violated at %d -> %d", i, p)
+		}
+	}
+}
+
+// TestBuildRandomizedZeroJitter: jitter 0 must reproduce Build exactly — the
+// countermeasure off-switch is the identity.
+func TestBuildRandomizedZeroJitter(t *testing.T) {
+	n := paperNetwork(t, 11)
+	plain, err := Build(n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := BuildRandomized(n, 5, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Parent {
+		if plain.Parent[i] != rnd.Parent[i] {
+			t.Fatalf("jitter 0 parent[%d] = %d, want Build's %d", i, rnd.Parent[i], plain.Parent[i])
+		}
+	}
+}
+
+// TestBuildRandomizedInvariants: full route randomization still produces a
+// valid shortest-path aggregation tree — only the choice among equal-hop
+// parents changes, never the hop counts.
+func TestBuildRandomizedInvariants(t *testing.T) {
+	n := paperNetwork(t, 11)
+	plain, err := Build(n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := BuildRandomized(n, 5, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeInvariants(t, rnd)
+	diff := 0
+	for i := range plain.Parent {
+		if plain.Hops[i] != rnd.Hops[i] {
+			t.Fatalf("node %d: hops %d != Build's %d (randomization must keep shortest paths)",
+				i, rnd.Hops[i], plain.Hops[i])
+		}
+		if plain.Parent[i] != rnd.Parent[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("jitter 1 changed no parent choices on a 900-node network")
+	}
+}
+
+// TestBuildRandomizedDeterminism: same seed, same tree; different seed,
+// different tree. The draws are hashed per (seed, root, node), so this holds
+// at any call order.
+func TestBuildRandomizedDeterminism(t *testing.T) {
+	n := paperNetwork(t, 11)
+	a, err := BuildRandomized(n, 5, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildRandomized(n, 5, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := BuildRandomized(n, 5, 0.5, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range a.Parent {
+		if a.Parent[i] != b.Parent[i] {
+			t.Fatalf("same-seed trees differ at node %d", i)
+		}
+		if a.Parent[i] != c.Parent[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("seeds 42 and 43 produced identical randomized trees")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"fluxtrack/internal/core"
 	"fluxtrack/internal/fingerprint"
+	"fluxtrack/internal/fit"
 	"fluxtrack/internal/obs"
 	"fluxtrack/internal/rng"
 	"fluxtrack/internal/shard"
@@ -61,6 +62,11 @@ type TenantConfig struct {
 	ActiveSetLimit int     `json:"active_set_limit"` // §5.C active-set cap
 	TileCapacity   int     `json:"tile_capacity"`    // sharded per-tile admission cap
 	Queue          int     `json:"queue"`            // ingestion queue depth
+	// Robust arms the robust-fit defense against Byzantine sensor reports
+	// for every round this tenant steps: "off" (or ""), "huber", "loso", or
+	// "both" (fit.ParseRobustMode). Defended tenants pay a second search
+	// pass per round but tolerate tampered readings (see fit.RobustConfig).
+	Robust string `json:"robust"`
 }
 
 // Observation is the JSON body of an observe request: one measurement
@@ -295,11 +301,16 @@ func (s *Server) trackerFor(cfg TenantConfig) (core.StepTracker, error) {
 	if cfg.Users <= 0 {
 		return nil, errors.New("users must be >= 1")
 	}
+	robustMode, err := fit.ParseRobustMode(cfg.Robust)
+	if err != nil {
+		return nil, err
+	}
 	tc := core.TrackerConfig{
 		N: cfg.Samples, M: cfg.TrackM, VMax: cfg.VMax,
 		ActiveSetLimit: cfg.ActiveSetLimit,
 		TileCapacity:   cfg.TileCapacity,
 		Workers:        cfg.Workers,
+		Search:         fit.Options{Robust: fit.RobustConfig{Mode: robustMode}},
 		DBCache:        s.cache,
 		Metrics:        s.metrics,
 		Trace:          s.trace,

@@ -54,7 +54,13 @@ type Config struct {
 	// fraction of the round's largest fitted stretch is considered idle
 	// (no data collection this window) and is not updated. Default 0.05.
 	IdleStretchFrac float64
-	// Search tunes the inner candidate-ranking search.
+	// Search tunes the inner candidate-ranking search. Setting
+	// Search.Robust.Mode arms the robust-fitting defense against Byzantine
+	// sensors in every Step/StepMasked round: the round's search runs twice,
+	// down-weighting sensors whose residuals fail the Huber or
+	// leave-one-sensor-out consistency checks (see fit.RobustConfig). The
+	// reweighting is a serial pure function of the first pass, so robust
+	// rounds keep the tracker's byte-identical worker-invariance contract.
 	Search fit.Options
 	// Coarse enables the coarse-to-fine prestage of the inner search: New
 	// precomputes a fingerprint database over SamplePoints and every round's

@@ -41,6 +41,12 @@ type Simulator struct {
 	mu        sync.Mutex
 	treeCache map[int]*routing.Tree
 	met       simMetrics
+
+	// routeJitter and routeSeed arm the route-randomization countermeasure:
+	// when routeJitter > 0 every tree is built with routing.BuildRandomized
+	// instead of routing.Build. See SetRouteJitter.
+	routeJitter float64
+	routeSeed   uint64
 }
 
 // simMetrics holds the simulator's bound counter handles; the zero value is
@@ -85,6 +91,26 @@ func (s *Simulator) SetMetrics(m *obs.Metrics) {
 	}
 }
 
+// SetRouteJitter arms (or, with jitter <= 0, disarms) the network's
+// route-randomization countermeasure: subsequent trees are built with
+// routing.BuildRandomized(sink, jitter, seed), so each node deviates from
+// its nearest closer parent with probability jitter. The tree cache is
+// cleared, since cached shapes were built under the previous policy.
+// Randomized trees are still deterministic per (sink, jitter, seed), so the
+// cache — and every table rendered above it — stays worker-count invariant.
+// Not safe to call concurrently with Flux; configure right after
+// construction, like SetMetrics.
+func (s *Simulator) SetRouteJitter(jitter float64, seed uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if jitter < 0 {
+		jitter = 0
+	}
+	s.routeJitter = jitter
+	s.routeSeed = seed
+	s.treeCache = make(map[int]*routing.Tree)
+}
+
 // tree returns the (cached) collection tree rooted at the given sink node.
 // The lock is held across the build so concurrent callers asking for the
 // same sink share one construction instead of racing on the map.
@@ -95,7 +121,7 @@ func (s *Simulator) tree(sink int) (*routing.Tree, error) {
 		s.met.treeHits.Inc(sink)
 		return t, nil
 	}
-	t, err := routing.Build(s.net, sink)
+	t, err := routing.BuildRandomized(s.net, sink, s.routeJitter, s.routeSeed)
 	if err != nil {
 		return nil, err
 	}

@@ -321,3 +321,70 @@ func TestSimulatorConcurrentFlux(t *testing.T) {
 		}
 	}
 }
+
+// TestSetRouteJitter: the traffic-shaping countermeasure must change the
+// flux fingerprint (that mismatch with the attacker's calibrated model is
+// the whole defense), conserve the total relayed flux (hop counts are
+// untouched, so every report still travels the same distance), stay
+// deterministic per seed, and switch off cleanly at jitter 0.
+func TestSetRouteJitter(t *testing.T) {
+	net := paperNetwork(t, 3)
+	users := []User{{Pos: geom.Pt(12, 9), Stretch: 2, Active: true}}
+	plainSim := NewSimulator(net)
+	plain, err := plainSim.Flux(users)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jit := NewSimulator(net)
+	jit.SetRouteJitter(0.5, 7)
+	shaped, err := jit.Flux(users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range plain {
+		if plain[i] != shaped[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("route jitter 0.5 left the flux fingerprint unchanged")
+	}
+	sum := func(f []float64) float64 {
+		var s float64
+		for _, v := range f {
+			s += v
+		}
+		return s
+	}
+	if ps, ss := sum(plain), sum(shaped); math.Abs(ps-ss) > 1e-6*ps {
+		t.Errorf("route jitter changed total relayed flux: %v -> %v", ps, ss)
+	}
+
+	// Same seed reproduces the shaped pattern bit for bit.
+	jit2 := NewSimulator(net)
+	jit2.SetRouteJitter(0.5, 7)
+	shaped2, err := jit2.Flux(users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shaped {
+		if shaped[i] != shaped2[i] {
+			t.Fatalf("same-seed jittered flux differs at node %d", i)
+		}
+	}
+
+	// Resetting jitter to 0 on a live simulator clears the cache and
+	// restores the plain fingerprint.
+	jit.SetRouteJitter(0, 0)
+	restored, err := jit.Flux(users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if restored[i] != plain[i] {
+			t.Fatalf("jitter 0 flux differs from plain at node %d", i)
+		}
+	}
+}
